@@ -1,0 +1,68 @@
+// Extension bench (paper future work): run-time selection of the forward
+// window.  The paper tunes FW by hand per platform; the adaptive controller
+// grows the window while a rank is blocking and shrinks it while guesses
+// fail.  Compared here against every fixed window on the calibrated testbed,
+// in a calm and in a spiky network regime.
+#include <cstdio>
+#include <iostream>
+
+#include "nbody/scenario.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace specomp;
+  using namespace specomp::nbody;
+  const support::Cli cli(argc, argv);
+  const long iterations = cli.get_int("iterations", 18);
+  const auto p = static_cast<std::size_t>(cli.get_int("p", 16));
+
+  auto run_one = [&](int fw, const char* policy, bool spiky) {
+    NBodyScenario s = paper_testbed_scenario(p, iterations);
+    const bool fixed = std::string(policy) == "fixed";
+    s.algorithm =
+        (fixed && fw == 0) ? Algorithm::Fig7Baseline : Algorithm::Speculative;
+    s.forward_window = fw;
+    s.adaptive_window = std::string(policy) == "adaptive";
+    s.hill_climb_window = std::string(policy) == "hill-climb";
+    if (spiky) {
+      // Heavier, burstier delays: occasional multi-second stalls on top of
+      // the base latency.
+      auto composite = std::make_shared<net::CompositeLatency>();
+      composite->add(std::make_unique<net::ExponentialJitter>(
+          des::SimTime::millis(600)));
+      composite->add(std::make_unique<net::RandomSpike>(
+          0.02, des::SimTime::seconds(8)));
+      s.sim.channel.extra_delay = composite;
+    }
+    return run_scenario(s);
+  };
+
+  for (const bool spiky : {false, true}) {
+    std::printf("Adaptive forward window — %s network (%zu procs)\n\n",
+                spiky ? "spiky" : "calm", p);
+    support::Table table({"policy", "time/iter (s)", "comm/iter (s)",
+                          "correct/iter (s)", "k %", "max FW used"});
+    auto add_row = [&table](const std::string& name, const NBodyRunResult& run) {
+      table.row()
+          .add(name)
+          .add(run.time_per_iteration, 2)
+          .add(run.mean_comm_per_iteration, 2)
+          .add(run.mean_correct_per_iteration, 3)
+          .add(run.spec.failure_fraction() * 100.0, 2)
+          .add(run.spec.max_window_used);
+    };
+    for (const int fw : {0, 1, 2, 3})
+      add_row("fixed FW=" + std::to_string(fw), run_one(fw, "fixed", spiky));
+    add_row("adaptive", run_one(1, "adaptive", spiky));
+    add_row("hill-climb", run_one(1, "hill-climb", spiky));
+    std::cout << table << "\n";
+  }
+  std::printf(
+      "expectation: both controllers beat the no-speculation baseline in "
+      "every regime and approach the best fixed window without per-platform "
+      "hand tuning; the hill-climber (optimising iteration time directly) "
+      "handles the wait-vs-correction trade-off better than the "
+      "signal-threshold policy.\n");
+  return 0;
+}

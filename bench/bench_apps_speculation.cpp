@@ -1,0 +1,123 @@
+// Generality bench: the same speculation engine applied to two further
+// synchronous iterative algorithms — a dense Jacobi linear solver and a 1-D
+// explicit heat stencil (the PDE class the paper's Section 2 motivates).
+// Reported: makespan with and without speculation, accuracy of the result,
+// and speculation statistics.
+#include <cstdio>
+#include <iostream>
+
+#include "apps/heat.hpp"
+#include "apps/jacobi.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+specomp::runtime::SimConfig slow_network(std::size_t p) {
+  using namespace specomp;
+  runtime::SimConfig config;
+  config.cluster = runtime::Cluster::linear(p, 1e6, 4.0);
+  config.channel.bandwidth_bytes_per_sec = 1.25e6;
+  // Latency-dominated channel, scaled to these lighter iteration loads.
+  config.channel.propagation = des::SimTime::millis(80);
+  config.channel.extra_delay =
+      std::make_shared<net::ExponentialJitter>(des::SimTime::millis(15));
+  config.send_sw_time = des::SimTime::millis(1);
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace specomp;
+  using namespace specomp::apps;
+  const support::Cli cli(argc, argv);
+  const auto p = static_cast<std::size_t>(cli.get_int("p", 8));
+  const long iterations = cli.get_int("iterations", 40);
+
+  std::printf(
+      "Generality — speculation on other synchronous iterative algorithms "
+      "(%zu procs, %ld iterations)\n\n",
+      p, iterations);
+  support::Table table({"application", "FW", "time (s)", "gain %", "k %",
+                        "result quality"});
+
+  // ---- Jacobi ----
+  double jacobi_base = 0.0;
+  for (const int fw : {0, 1, 2}) {
+    JacobiScenario s;
+    s.n = 512;
+    s.iterations = iterations;
+    s.forward_window = fw;
+    s.theta = 1e-3;
+    s.sim = slow_network(p);
+    const JacobiRunResult run = run_jacobi_scenario(s);
+    if (fw == 0) jacobi_base = run.sim.makespan_seconds;
+    char quality[64];
+    std::snprintf(quality, sizeof quality, "residual %.2e", run.residual);
+    table.row()
+        .add("jacobi-512")
+        .add(fw)
+        .add(run.sim.makespan_seconds, 2)
+        .add((jacobi_base / run.sim.makespan_seconds - 1.0) * 100.0, 1)
+        .add(run.spec.failure_fraction() * 100.0, 2)
+        .add(quality);
+  }
+
+  // ---- Asynchronous Jacobi (related-work baseline) ----
+  {
+    JacobiScenario s;
+    s.n = 512;
+    s.iterations = iterations;
+    s.sim = slow_network(p);
+    const JacobiRunResult run = run_jacobi_async(s);
+    char quality[64];
+    std::snprintf(quality, sizeof quality, "residual %.2e", run.residual);
+    table.row()
+        .add("jacobi-512 async")
+        .add("-")
+        .add(run.sim.makespan_seconds, 2)
+        .add((jacobi_base / run.sim.makespan_seconds - 1.0) * 100.0, 1)
+        .add("-")
+        .add(quality);
+  }
+
+  // ---- Heat ----
+  double heat_base = 0.0;
+  for (const int fw : {0, 1, 2}) {
+    HeatScenario s;
+    s.problem.n = 1024;
+    s.iterations = iterations;
+    s.forward_window = fw;
+    s.theta = 1e-4;
+    s.sim = slow_network(p);
+    const HeatRunResult run = run_heat_scenario(s);
+    if (fw == 0) heat_base = run.sim.makespan_seconds;
+    const auto serial = serial_heat(s.problem, s.iterations);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      worst = std::max(worst, std::fabs(run.field[i] - serial[i]));
+    char quality[64];
+    std::snprintf(quality, sizeof quality, "max dev %.2e", worst);
+    table.row()
+        .add("heat-1024")
+        .add(fw)
+        .add(run.sim.makespan_seconds, 2)
+        .add((heat_base / run.sim.makespan_seconds - 1.0) * 100.0, 1)
+        .add(run.spec.failure_fraction() * 100.0, 2)
+        .add(quality);
+  }
+
+  std::cout << table;
+  std::printf(
+      "\nexpectation: both applications gain from speculation on a "
+      "latency-bound network while staying accurate — the paper's claim "
+      "that the technique applies to a host of algorithms.  The fully "
+      "asynchronous baseline (related work) never waits and is fastest per "
+      "sweep; on this strongly contracting system it still converges, but "
+      "it offers no bound on the staleness it consumes — on slowly "
+      "contracting systems or congested networks its residual plateaus "
+      "(see JacobiAsync tests), the failure mode the paper's thresholded "
+      "speculation rules out by checking every guess.\n");
+  return 0;
+}

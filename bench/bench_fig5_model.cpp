@@ -1,0 +1,44 @@
+// Regenerates the paper's Figure 5: performance-model speedup versus number
+// of processors, with and without speculation (k = 2%), against the maximum
+// attainable speedup of the heterogeneous fleet.
+//
+// Expected shape (paper): speculation has little impact below ~5 processors,
+// the no-speculation curve peaks around 10 processors and then declines,
+// and speculation is ~25% ahead at p = 16.
+#include <cstdio>
+#include <iostream>
+
+#include "model/perf_model.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace specomp;
+  const support::Cli cli(argc, argv);
+  const double k = cli.get_double("k", 0.02);
+
+  const model::PerfModel perf(model::paper_figure5_params(k));
+
+  std::printf("Figure 5 — model speedup vs processors (k = %.0f%%)\n\n",
+              k * 100.0);
+  support::Table table(
+      {"p", "speedup (no spec)", "speedup (spec)", "max speedup", "gain %"});
+  for (std::size_t p = 1; p <= 16; ++p) {
+    table.row()
+        .add(p)
+        .add(perf.speedup_no_spec(p), 2)
+        .add(perf.speedup_spec(p), 2)
+        .add(perf.max_speedup(p), 2)
+        .add(perf.improvement(p) * 100.0, 1);
+  }
+  std::cout << table;
+
+  std::size_t peak = 1;
+  for (std::size_t p = 1; p <= 16; ++p)
+    if (perf.speedup_no_spec(p) > perf.speedup_no_spec(peak)) peak = p;
+  std::printf(
+      "\nno-speculation speedup peaks at p = %zu and declines beyond "
+      "(paper: ~10); speculation gain at p = 16: %.1f%% (paper: ~25%%)\n",
+      peak, perf.improvement(16) * 100.0);
+  return 0;
+}

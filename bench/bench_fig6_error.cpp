@@ -1,0 +1,42 @@
+// Regenerates the paper's Figure 6: model speedup on an 8-processor system
+// versus the percentage of recomputations k.
+//
+// Expected shape (paper): speculation beats the no-speculation baseline for
+// small k and loses beyond a crossover (paper reports ~10%; with this
+// calibration the crossover sits near 30% — see EXPERIMENTS.md).
+#include <cstdio>
+#include <iostream>
+
+#include "model/perf_model.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace specomp;
+  const support::Cli cli(argc, argv);
+  const auto p = static_cast<std::size_t>(cli.get_int("p", 8));
+
+  const model::PerfModel baseline(model::paper_figure5_params(0.0));
+  const double no_spec = baseline.speedup_no_spec(p);
+
+  std::printf("Figure 6 — model speedup on %zu processors vs recomputation %%\n\n",
+              p);
+  support::Table table({"k %", "speedup (spec)", "speedup (no spec)", "spec wins"});
+  double crossover = -1.0;
+  for (double k = 0.0; k <= 0.50001; k += 0.025) {
+    const model::PerfModel perf(model::paper_figure5_params(k));
+    const double spec = perf.speedup_spec(p);
+    table.row()
+        .add(k * 100.0, 1)
+        .add(spec, 2)
+        .add(no_spec, 2)
+        .add(spec > no_spec ? "yes" : "no");
+    if (crossover < 0.0 && spec < no_spec) crossover = k;
+  }
+  std::cout << table;
+  std::printf(
+      "\ncrossover: speculation stops paying at k = %.1f%% "
+      "(paper reports ~10%%; see EXPERIMENTS.md for the discussion)\n",
+      crossover * 100.0);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Regenerates the paper's Figure 8: measured N-body speedup versus number of
+// processors for forward windows 0, 1 and 2 (θ = 0.01, N = 1000 particles)
+// on the calibrated simulated testbed, plus the paper's headline claims:
+// up to 34% gain over no speculation at 16 processors and a speculative
+// speedup within 20% of the maximum attainable.
+//
+// FW = 0 is the paper's own baseline (its Figure 7 algorithm).
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "nbody/scenario.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace specomp;
+  using namespace specomp::nbody;
+  const support::Cli cli(argc, argv);
+  const long iterations = cli.get_int("iterations", 10);
+
+  const std::size_t p_values[] = {1, 2, 4, 6, 8, 10, 12, 14, 16};
+
+  // Serial reference on P1 (the fastest machine), as the paper defines
+  // speedup.
+  NBodyScenario serial = paper_testbed_scenario(1, iterations);
+  const double t_serial = run_scenario(serial).sim.makespan_seconds;
+
+  std::printf(
+      "Figure 8 — measured N-body speedup vs processors (N = 1000, "
+      "theta = 0.01, %ld iterations)\n\n", iterations);
+  support::Table table({"p", "FW=0 (no spec)", "FW=1", "FW=2", "max speedup",
+                        "k% (FW=1)"});
+  std::map<std::size_t, std::map<int, double>> speedups;
+  for (const std::size_t p : p_values) {
+    table.row().add(p);
+    double k_fw1 = 0.0;
+    for (const int fw : {0, 1, 2}) {
+      NBodyScenario s = paper_testbed_scenario(p, iterations);
+      s.algorithm = fw == 0 ? Algorithm::Fig7Baseline : Algorithm::Speculative;
+      s.forward_window = fw;
+      const NBodyRunResult run = run_scenario(s);
+      const double speedup = t_serial / run.sim.makespan_seconds;
+      speedups[p][fw] = speedup;
+      table.add(speedup, 2);
+      if (fw == 1) k_fw1 = run.spec.failure_fraction() * 100.0;
+    }
+    table.add(runtime::Cluster::paper_fleet().prefix(p).max_speedup(), 2);
+    table.add(k_fw1, 2);
+  }
+  std::cout << table;
+
+  const double gain1 = speedups[16][1] / speedups[16][0] - 1.0;
+  const double gain2 = speedups[16][2] / speedups[16][0] - 1.0;
+  const double max16 = runtime::Cluster::paper_fleet().max_speedup();
+  std::printf(
+      "\nheadline: gain over no speculation at p = 16: FW=1 %.0f%%, FW=2 "
+      "%.0f%%  (paper: up to 34%%)\n",
+      gain1 * 100.0, gain2 * 100.0);
+  std::printf(
+      "best speculative speedup at p = 16 is within %.0f%% of the maximum "
+      "%.2f  (paper: within 20%%)\n",
+      (1.0 - std::max(speedups[16][1], speedups[16][2]) / max16) * 100.0,
+      max16);
+  return 0;
+}

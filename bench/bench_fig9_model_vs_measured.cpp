@@ -1,0 +1,94 @@
+// Regenerates the paper's Figure 9: the Section-4 performance model,
+// parameterised from the N-body implementation, compared against the
+// measured speedups.
+//
+// Calibration follows the paper: per-variable operation counts from the
+// implementation (70 ops/pair force, 12 ops speculation, 24 ops check), the
+// measured recomputation fraction k, and a linear fit of the measured
+// per-iteration communication times.  Expected shape (paper): model within
+// ~10% of measurement below 8 processors, within ~25% up to 16.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "model/calibrate.hpp"
+#include "nbody/scenario.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace specomp;
+  using namespace specomp::nbody;
+  const support::Cli cli(argc, argv);
+  const long iterations = cli.get_int("iterations", 10);
+
+  const std::size_t p_values[] = {2, 4, 6, 8, 10, 12, 14, 16};
+
+  // ---- Measure ----
+  const double t_serial =
+      run_scenario(paper_testbed_scenario(1, iterations)).sim.makespan_seconds;
+  struct Measured {
+    std::size_t p;
+    double speedup_spec;
+    double speedup_nospec;
+    double t_comm;
+    double k;
+  };
+  std::vector<Measured> measured;
+  for (const std::size_t p : p_values) {
+    NBodyScenario spec = paper_testbed_scenario(p, iterations);
+    const NBodyRunResult spec_run = run_scenario(spec);
+    NBodyScenario base = paper_testbed_scenario(p, iterations);
+    base.algorithm = Algorithm::Fig7Baseline;
+    base.forward_window = 0;
+    const NBodyRunResult base_run = run_scenario(base);
+    measured.push_back({p, t_serial / spec_run.sim.makespan_seconds,
+                        t_serial / base_run.sim.makespan_seconds,
+                        base_run.mean_comm_per_iteration,
+                        spec_run.spec.failure_fraction()});
+  }
+
+  // ---- Calibrate the model from those measurements ----
+  model::CalibrationInputs inputs;
+  inputs.total_variables = 1000;
+  inputs.f_comp = 70.0 * 999.0 + 12.0;  // per-variable force sum + update
+  inputs.f_spec = 12.0;
+  inputs.f_check = 24.0;
+  double k_mean = 0.0;
+  for (const auto& m : measured) k_mean += m.k;
+  inputs.k = k_mean / static_cast<double>(measured.size());
+  inputs.cluster = runtime::Cluster::paper_fleet();
+  std::vector<model::MeasuredCommPoint> comm_points;
+  for (const auto& m : measured) comm_points.push_back({m.p, m.t_comm});
+  const model::PerfModel perf(model::calibrate(inputs, comm_points));
+
+  // ---- Compare ----
+  std::printf("Figure 9 — model predictions vs measured speedups\n\n");
+  support::Table table({"p", "measured (no spec)", "model (no spec)",
+                        "measured (spec)", "model (spec)", "model err % (spec)"});
+  double worst_small = 0.0;
+  double worst_large = 0.0;
+  for (const auto& m : measured) {
+    const double model_nospec = perf.speedup_no_spec(m.p);
+    const double model_spec = perf.speedup_spec(m.p);
+    const double err = std::fabs(model_spec - m.speedup_spec) / m.speedup_spec;
+    (m.p <= 8 ? worst_small : worst_large) =
+        std::max(m.p <= 8 ? worst_small : worst_large, err);
+    table.row()
+        .add(m.p)
+        .add(m.speedup_nospec, 2)
+        .add(model_nospec, 2)
+        .add(m.speedup_spec, 2)
+        .add(model_spec, 2)
+        .add(err * 100.0, 1);
+  }
+  std::cout << table;
+  std::printf(
+      "\nmodel error (speculative curve): worst %.0f%% for p <= 8, worst "
+      "%.0f%% for p > 8  (paper: within 10%% / 25%%)\n",
+      worst_small * 100.0, worst_large * 100.0);
+  std::printf("calibrated: k = %.2f%%, t_comm(p) = %.3f + %.3f p seconds\n",
+              inputs.k * 100.0, perf.params().t_comm_base,
+              perf.params().t_comm_slope);
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark) for the primitives whose operation
+// counts parameterise the performance model: the pair-force kernel, the
+// speculation functions, payload serialisation, the DES kernel's event
+// throughput, and the shared-medium channel.
+#include <benchmark/benchmark.h>
+
+#include "des/kernel.hpp"
+#include "des/process.hpp"
+#include "net/channel.hpp"
+#include "net/serialization.hpp"
+#include "nbody/app.hpp"
+#include "nbody/forces.hpp"
+#include "nbody/init.hpp"
+#include "spec/speculator.hpp"
+
+namespace {
+
+using namespace specomp;
+
+void BM_PairForceKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto particles = nbody::init_plummer(n, 1);
+  std::vector<nbody::Vec3> pos(n);
+  std::vector<double> mass(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] = particles[i].pos;
+    mass[i] = particles[i].mass;
+  }
+  std::vector<nbody::Vec3> acc(n);
+  for (auto _ : state) {
+    acc.assign(n, {});
+    nbody::accumulate_accelerations(pos, pos, mass, 1e-3, 0, acc);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK(BM_PairForceKernel)->Arg(64)->Arg(256)->Arg(1000);
+
+template <typename SpeculatorT>
+void BM_Speculator(benchmark::State& state) {
+  const auto vars = static_cast<std::size_t>(state.range(0));
+  spec::History history(3);
+  for (long t = 0; t < 3; ++t) {
+    std::vector<double> block(vars);
+    for (std::size_t i = 0; i < vars; ++i)
+      block[i] = static_cast<double>(i) + 0.1 * static_cast<double>(t);
+    history.record(t, block);
+  }
+  const SpeculatorT speculator;
+  for (auto _ : state) {
+    auto out = speculator.predict(history, 1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(vars));
+}
+BENCHMARK_TEMPLATE(BM_Speculator, spec::HoldLastSpeculator)->Arg(600);
+BENCHMARK_TEMPLATE(BM_Speculator, spec::LinearSpeculator)->Arg(600);
+BENCHMARK_TEMPLATE(BM_Speculator, spec::QuadraticSpeculator)->Arg(600);
+
+void BM_KinematicSpeculator(benchmark::State& state) {
+  const auto particles = static_cast<std::size_t>(state.range(0));
+  spec::History history(1);
+  std::vector<double> block(particles * nbody::kDoublesPerParticle, 1.0);
+  history.record(0, block);
+  const nbody::KinematicSpeculator speculator(0.03);
+  for (auto _ : state) {
+    auto out = speculator.predict(history, 1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(particles));
+}
+BENCHMARK(BM_KinematicSpeculator)->Arg(100);
+
+void BM_SerializeDoubles(benchmark::State& state) {
+  const std::vector<double> values(static_cast<std::size_t>(state.range(0)), 1.5);
+  for (auto _ : state) {
+    net::ByteWriter writer;
+    writer.write_vector(values);
+    auto bytes = std::move(writer).take();
+    net::ByteReader reader(bytes);
+    auto back = reader.read_vector<double>();
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(state.range(0)) * 8);
+}
+BENCHMARK(BM_SerializeDoubles)->Arg(400);
+
+void BM_DesEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Kernel kernel;
+    const int events = static_cast<int>(state.range(0));
+    for (int i = 0; i < events; ++i)
+      kernel.schedule_at(des::SimTime::micros(i), [] {});
+    const auto stats = kernel.run();
+    benchmark::DoNotOptimize(stats.events_executed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DesEventThroughput)->Arg(10000);
+
+void BM_ProcessContextSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Kernel kernel;
+    kernel.spawn("hopper", [](des::Process& proc) {
+      for (int i = 0; i < 1000; ++i) proc.advance(des::SimTime::micros(1));
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_ProcessContextSwitch);
+
+void BM_SharedMediumPost(benchmark::State& state) {
+  net::ChannelConfig config;
+  config.bandwidth_bytes_per_sec = 1.25e6;
+  net::SharedMediumChannel channel(config);
+  net::Message msg;
+  msg.src = 0;
+  msg.dst = 1;
+  msg.payload.resize(3000);
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 1e-6;
+    benchmark::DoNotOptimize(channel.post(msg, des::SimTime::seconds(now)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SharedMediumPost);
+
+}  // namespace

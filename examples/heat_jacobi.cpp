@@ -1,0 +1,80 @@
+// Speculation beyond N-body: the two PDE-flavoured applications.
+//
+//   $ ./examples/heat_jacobi [--p 8] [--iterations 50]
+//
+// Solves a dense linear system by Jacobi iteration and integrates a 1-D
+// heat equation, each with and without speculation, and reports time,
+// accuracy and speculation statistics — the paper's generality claim in
+// executable form.
+#include <cmath>
+#include <cstdio>
+
+#include "apps/heat.hpp"
+#include "apps/jacobi.hpp"
+#include "support/cli.hpp"
+
+using namespace specomp;
+using namespace specomp::apps;
+
+namespace {
+
+runtime::SimConfig latency_bound_network(std::size_t p) {
+  runtime::SimConfig config;
+  config.cluster = runtime::Cluster::linear(p, 1e6, 4.0);
+  config.channel.propagation = des::SimTime::millis(80);
+  config.channel.extra_delay =
+      std::make_shared<net::ExponentialJitter>(des::SimTime::millis(15));
+  config.send_sw_time = des::SimTime::millis(1);
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Cli cli(argc, argv);
+  const auto p = static_cast<std::size_t>(cli.get_int("p", 8));
+  const long iterations = cli.get_int("iterations", 50);
+
+  std::printf("== Jacobi solver, 512 unknowns, %zu processors ==\n", p);
+  for (const int fw : {0, 1}) {
+    JacobiScenario s;
+    s.n = 512;
+    s.iterations = iterations;
+    s.forward_window = fw;
+    s.theta = 1e-3;
+    s.sim = latency_bound_network(p);
+    const JacobiRunResult run = run_jacobi_scenario(s);
+    std::printf(
+        "  FW=%d: %6.2f s, residual %.2e, k = %.1f%% (%llu corrections)\n",
+        fw, run.sim.makespan_seconds, run.residual,
+        run.spec.failure_fraction() * 100.0,
+        static_cast<unsigned long long>(run.spec.incremental_corrections));
+  }
+
+  // The heat stencil computes so little per iteration that one iteration of
+  // slack cannot hide an 80 ms latency — FW = 2 pipelines two of them and
+  // wins big, a nice illustration of choosing FW from the comm/comp ratio.
+  std::printf("\n== 1-D heat diffusion, 1024 cells, %zu processors ==\n", p);
+  for (const int fw : {0, 1, 2}) {
+    HeatScenario s;
+    s.problem.n = 1024;
+    s.iterations = iterations;
+    s.forward_window = fw;
+    s.theta = 1e-4;
+    s.sim = latency_bound_network(p);
+    const HeatRunResult run = run_heat_scenario(s);
+    const auto serial = serial_heat(s.problem, s.iterations);
+    double deviation = 0.0;
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      deviation = std::max(deviation, std::fabs(run.field[i] - serial[i]));
+    std::printf(
+        "  FW=%d: %6.2f s, max deviation from serial %.2e, k = %.1f%%\n", fw,
+        run.sim.makespan_seconds, deviation,
+        run.spec.failure_fraction() * 100.0);
+  }
+
+  std::printf(
+      "\nthe same SpecEngine drives N-body, Jacobi and the heat stencil — "
+      "only pack/compute/error/correct hooks differ per application.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "des/kernel.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "des/process.hpp"
+#include "support/contracts.hpp"
+
+namespace specomp::des {
+
+Kernel::Kernel() = default;
+Kernel::~Kernel() = default;
+
+void Kernel::schedule_at(SimTime at, std::function<void()> fn) {
+  SPEC_EXPECTS(at >= now_);
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Kernel::schedule_in(SimTime delay, std::function<void()> fn) {
+  SPEC_EXPECTS(delay >= SimTime::zero());
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+Process* Kernel::spawn(std::string name, std::function<void(Process&)> fn,
+                       SimTime start) {
+  auto proc = std::make_unique<Process>(*this, std::move(name), std::move(fn),
+                                        processes_.size());
+  Process* raw = proc.get();
+  processes_.push_back(std::move(proc));
+  schedule_at(start, [raw] { raw->resume_from_kernel(); });
+  return raw;
+}
+
+KernelStats Kernel::run() { return run_impl(/*bounded=*/false, SimTime::zero()); }
+
+KernelStats Kernel::run_until(SimTime limit) {
+  return run_impl(/*bounded=*/true, limit);
+}
+
+KernelStats Kernel::run_impl(bool bounded, SimTime limit) {
+  while (!queue_.empty()) {
+    if (bounded && queue_.top().at > limit) {
+      now_ = limit;
+      break;
+    }
+    // priority_queue::top() is const; the event is moved out via a copy of
+    // the function object after recording its metadata.
+    Event ev = queue_.top();
+    queue_.pop();
+    SPEC_ASSERT(ev.at >= now_);
+    now_ = ev.at;
+    ++events_executed_;
+    ev.fn();
+  }
+  if (queue_.empty()) check_deadlock();
+  return KernelStats{events_executed_, now_};
+}
+
+void Kernel::check_deadlock() const {
+  std::ostringstream stuck;
+  bool any = false;
+  for (const auto& proc : processes_) {
+    if (proc->state() == Process::State::Suspended) {
+      stuck << (any ? ", " : "") << proc->name();
+      any = true;
+    }
+  }
+  if (any) {
+    throw std::runtime_error(
+        "simulation deadlock: event queue empty but processes suspended: " +
+        stuck.str());
+  }
+}
+
+}  // namespace specomp::des

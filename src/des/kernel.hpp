@@ -1,0 +1,88 @@
+// Deterministic discrete-event simulation kernel.
+//
+// The kernel owns a priority queue of timestamped events and a set of
+// cooperative processes (see process.hpp).  Exactly one thread of control is
+// active at any instant — either the kernel's event loop or a single process
+// body — so a simulation run is a pure function of its inputs: identical
+// configuration and seeds replay to identical traces.  Ties in event time are
+// broken by insertion sequence, giving a total order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace specomp::des {
+
+class Process;
+
+/// Statistics the kernel gathers about a completed run.
+struct KernelStats {
+  std::uint64_t events_executed = 0;
+  SimTime end_time = SimTime::zero();
+};
+
+class Kernel {
+ public:
+  Kernel();
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Current simulated time.  Outside run() this is the time of the last
+  /// executed event.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` to execute at absolute time `at` (>= now()).
+  void schedule_at(SimTime at, std::function<void()> fn);
+  /// Schedules `fn` to execute `delay` after now().
+  void schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Creates a process whose body runs `fn`.  The process starts at time
+  /// `start` (default: immediately at the current time).  The returned
+  /// pointer remains owned by the kernel and is valid for its lifetime.
+  Process* spawn(std::string name, std::function<void(Process&)> fn,
+                 SimTime start = SimTime::zero());
+
+  /// Runs until the event queue is empty.  Throws std::runtime_error if
+  /// processes remain suspended with no pending events (deadlock).
+  KernelStats run();
+
+  /// Runs until simulated time reaches `limit` or the queue drains.
+  KernelStats run_until(SimTime limit);
+
+  const std::vector<std::unique_ptr<Process>>& processes() const noexcept {
+    return processes_;
+  }
+
+ private:
+  friend class Process;
+
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;  // min-heap on time
+      return a.seq > b.seq;                  // FIFO among equal times
+    }
+  };
+
+  KernelStats run_impl(bool bounded, SimTime limit);
+  void check_deadlock() const;
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+}  // namespace specomp::des

@@ -1,0 +1,133 @@
+#include "des/process.hpp"
+
+#include <utility>
+
+#include "support/contracts.hpp"
+#include "support/log.hpp"
+
+namespace specomp::des {
+
+namespace {
+
+/// Private exception used to unwind a process body when its simulation is
+/// torn down before the body returns.  Deliberately not derived from
+/// std::exception so well-behaved `catch (const std::exception&)` handlers in
+/// application code do not swallow it.
+struct ProcessKilled {};
+
+}  // namespace
+
+Process::Process(Kernel& kernel, std::string name,
+                 std::function<void(Process&)> body, std::uint64_t id)
+    : kernel_(kernel), name_(std::move(name)), body_(std::move(body)), id_(id) {}
+
+Process::~Process() {
+  if (!thread_started_) return;
+  if (state_ != State::Finished) {
+    // Hand the body the token one final time with the kill flag set; its
+    // next yield point throws ProcessKilled and unwinds.
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      kill_requested_ = true;
+      token_with_body_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return !token_with_body_; });
+    }
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void Process::advance(SimTime dt) {
+  SPEC_EXPECTS(state_ == State::Running);
+  SPEC_EXPECTS(dt >= SimTime::zero());
+  resume_scheduled_ = true;
+  kernel_.schedule_in(dt, [this] {
+    resume_scheduled_ = false;
+    resume_from_kernel();
+  });
+  state_ = State::Waiting;
+  yield_to_kernel();
+  state_ = State::Running;
+}
+
+void Process::suspend() {
+  SPEC_EXPECTS(state_ == State::Running);
+  if (wake_pending_) {
+    wake_pending_ = false;
+    return;
+  }
+  state_ = State::Suspended;
+  yield_to_kernel();
+  state_ = State::Running;
+}
+
+void Process::yield_now() { advance(SimTime::zero()); }
+
+void Process::wake() {
+  switch (state_) {
+    case State::Suspended:
+      if (!resume_scheduled_) {
+        resume_scheduled_ = true;
+        kernel_.schedule_in(SimTime::zero(), [this] {
+          resume_scheduled_ = false;
+          resume_from_kernel();
+        });
+      }
+      break;
+    case State::Running:
+      // A process cannot wake itself mid-run; remember the wake so the next
+      // suspend() returns immediately (level-triggered semantics).
+      [[fallthrough]];
+    case State::Waiting:
+    case State::NotStarted:
+      wake_pending_ = true;
+      break;
+    case State::Finished:
+      break;  // late wake after completion is harmless
+  }
+}
+
+void Process::resume_from_kernel() {
+  if (state_ == State::Finished) return;
+  if (!thread_started_) {
+    thread_started_ = true;
+    thread_ = std::thread([this] { thread_main(); });
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  token_with_body_ = true;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return !token_with_body_; });
+}
+
+void Process::yield_to_kernel() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  token_with_body_ = false;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return token_with_body_; });
+  if (kill_requested_) throw ProcessKilled{};
+}
+
+void Process::thread_main() {
+  {
+    // Wait for the first token hand-off.
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return token_with_body_; });
+  }
+  if (!kill_requested_) {
+    state_ = State::Running;
+    try {
+      body_(*this);
+    } catch (const ProcessKilled&) {
+      // Torn down by ~Process; fall through to the hand-back below.
+    } catch (...) {
+      SPEC_LOG_ERROR << "process '" << name_
+                     << "' terminated with an uncaught exception";
+    }
+  }
+  state_ = State::Finished;
+  std::lock_guard<std::mutex> lock(mutex_);
+  token_with_body_ = false;
+  cv_.notify_all();
+}
+
+}  // namespace specomp::des

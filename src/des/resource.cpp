@@ -1,0 +1,31 @@
+#include "des/resource.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace specomp::des {
+
+SimTime Resource::serve(SimTime now, SimTime service) {
+  SPEC_EXPECTS(service >= SimTime::zero());
+  const SimTime start = std::max(now, busy_until_);
+  const SimTime wait = start - now;
+  busy_until_ = start + service;
+  total_wait_ += wait;
+  total_service_ += service;
+  wait_stats_.add(wait.to_seconds());
+  ++jobs_;
+  return busy_until_;
+}
+
+double Resource::mean_wait_seconds() const noexcept {
+  if (jobs_ == 0) return 0.0;
+  return total_wait_.to_seconds() / static_cast<double>(jobs_);
+}
+
+double Resource::utilisation(SimTime horizon) const noexcept {
+  if (horizon <= SimTime::zero()) return 0.0;
+  return std::min(1.0, total_service_.to_seconds() / horizon.to_seconds());
+}
+
+}  // namespace specomp::des

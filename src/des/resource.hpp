@@ -1,0 +1,53 @@
+// FIFO-serialised facility.
+//
+// Models a resource that serves jobs one at a time in arrival order — the
+// shared ethernet medium in this reproduction.  Callers ask for service of a
+// given duration at the current simulated time and receive the completion
+// time; the facility keeps utilisation and queueing statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "des/time.hpp"
+#include "support/stats.hpp"
+
+namespace specomp::des {
+
+class Resource {
+ public:
+  explicit Resource(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Enqueues a job arriving at `now` needing `service` time on the facility.
+  /// Returns the time at which the job completes service.  Jobs are served
+  /// in call order (FIFO), so callers must invoke this in nondecreasing
+  /// simulated-time order — which the DES kernel guarantees.
+  SimTime serve(SimTime now, SimTime service);
+
+  /// Time at which the facility next becomes free.
+  SimTime busy_until() const noexcept { return busy_until_; }
+
+  std::uint64_t jobs_served() const noexcept { return jobs_; }
+  /// Total time jobs spent waiting before service began.
+  SimTime total_wait() const noexcept { return total_wait_; }
+  /// Total time the facility spent serving.
+  SimTime total_service() const noexcept { return total_service_; }
+  /// Mean wait per job (zero when idle arrivals dominate).
+  double mean_wait_seconds() const noexcept;
+  /// Fraction of [0, horizon] the facility was busy.
+  double utilisation(SimTime horizon) const noexcept;
+
+  const support::OnlineStats& wait_stats() const noexcept { return wait_stats_; }
+
+ private:
+  std::string name_;
+  SimTime busy_until_ = SimTime::zero();
+  SimTime total_wait_ = SimTime::zero();
+  SimTime total_service_ = SimTime::zero();
+  std::uint64_t jobs_ = 0;
+  support::OnlineStats wait_stats_;
+};
+
+}  // namespace specomp::des

@@ -1,0 +1,46 @@
+// Simulated time.
+//
+// A strong type around a double count of seconds.  Using a distinct type
+// (rather than a bare double) keeps simulated durations from silently mixing
+// with wall-clock quantities in the measurement layer.
+#pragma once
+
+#include <compare>
+
+namespace specomp::des {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime seconds(double s) noexcept { return SimTime{s}; }
+  static constexpr SimTime millis(double ms) noexcept { return SimTime{ms * 1e-3}; }
+  static constexpr SimTime micros(double us) noexcept { return SimTime{us * 1e-6}; }
+  static constexpr SimTime zero() noexcept { return SimTime{0.0}; }
+
+  constexpr double to_seconds() const noexcept { return seconds_; }
+  constexpr double to_millis() const noexcept { return seconds_ * 1e3; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+
+  constexpr SimTime& operator+=(SimTime o) noexcept {
+    seconds_ += o.seconds_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) noexcept {
+    seconds_ -= o.seconds_;
+    return *this;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept { return a += b; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept { return a -= b; }
+  friend constexpr SimTime operator*(SimTime a, double s) noexcept {
+    return SimTime{a.seconds_ * s};
+  }
+  friend constexpr SimTime operator*(double s, SimTime a) noexcept { return a * s; }
+
+ private:
+  explicit constexpr SimTime(double s) noexcept : seconds_(s) {}
+  double seconds_ = 0.0;
+};
+
+}  // namespace specomp::des

@@ -1,0 +1,94 @@
+#include "des/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace specomp::des {
+
+char span_symbol(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::Compute: return 'C';
+    case SpanKind::SpeculativeCompute: return '*';
+    case SpanKind::Speculate: return 's';
+    case SpanKind::Check: return 'k';
+    case SpanKind::Correct: return 'R';
+    case SpanKind::Wait: return '.';
+    case SpanKind::Send: return '>';
+    case SpanKind::Other: return '?';
+  }
+  return '?';
+}
+
+const char* span_name(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::Compute: return "compute";
+    case SpanKind::SpeculativeCompute: return "speculative compute";
+    case SpanKind::Speculate: return "speculate";
+    case SpanKind::Check: return "check";
+    case SpanKind::Correct: return "correct/recompute";
+    case SpanKind::Wait: return "wait (idle)";
+    case SpanKind::Send: return "send";
+    case SpanKind::Other: return "other";
+  }
+  return "?";
+}
+
+void Trace::add_span(std::uint64_t lane, SpanKind kind, SimTime begin,
+                     SimTime end, std::string label) {
+  SPEC_EXPECTS(end >= begin);
+  spans_.push_back(Span{lane, kind, begin, end, std::move(label)});
+  horizon_ = std::max(horizon_, end);
+}
+
+void Trace::add_event(std::uint64_t lane, SimTime at, std::string label) {
+  events_.push_back(PointEvent{lane, at, std::move(label)});
+  horizon_ = std::max(horizon_, at);
+}
+
+std::string Trace::gantt(std::size_t lanes, std::size_t columns) const {
+  SPEC_EXPECTS(columns >= 10);
+  const double horizon = std::max(horizon_.to_seconds(), 1e-12);
+  std::vector<std::string> rows(lanes, std::string(columns, ' '));
+
+  auto col_of = [&](SimTime t) {
+    auto c = static_cast<std::size_t>(t.to_seconds() / horizon *
+                                      static_cast<double>(columns));
+    return std::min(c, columns - 1);
+  };
+
+  for (const auto& span : spans_) {
+    if (span.lane >= lanes) continue;
+    const std::size_t c0 = col_of(span.begin);
+    std::size_t c1 = col_of(span.end);
+    if (span.end > span.begin && c1 == c0) c1 = std::min(c0 + 1, columns - 1);
+    for (std::size_t c = c0; c < std::max(c1, c0 + 1); ++c)
+      rows[span.lane][c] = span_symbol(span.kind);
+  }
+  for (const auto& ev : events_) {
+    if (ev.lane >= lanes) continue;
+    rows[ev.lane][col_of(ev.at)] = '!';
+  }
+
+  std::ostringstream os;
+  os << "time 0 " << std::string(columns > 20 ? columns - 20 : 0, '-') << " "
+     << horizon << " s\n";
+  for (std::size_t lane = 0; lane < lanes; ++lane)
+    os << "P" << lane << " |" << rows[lane] << "|\n";
+  os << "legend:";
+  for (SpanKind k :
+       {SpanKind::Compute, SpanKind::SpeculativeCompute, SpanKind::Speculate,
+        SpanKind::Check, SpanKind::Correct, SpanKind::Wait, SpanKind::Send})
+    os << "  " << span_symbol(k) << "=" << span_name(k);
+  os << "\n";
+  return os.str();
+}
+
+void Trace::clear() {
+  spans_.clear();
+  events_.clear();
+  horizon_ = SimTime::zero();
+}
+
+}  // namespace specomp::des

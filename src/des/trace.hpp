@@ -1,0 +1,67 @@
+// Execution trace / Gantt recorder.
+//
+// Used by the timeline example to reproduce the paper's Figures 2 and 4:
+// each simulated processor records spans (compute, wait, speculate, check,
+// correct) which render as an ASCII Gantt chart, one lane per processor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace specomp::des {
+
+enum class SpanKind : std::uint8_t {
+  Compute,
+  SpeculativeCompute,
+  Speculate,
+  Check,
+  Correct,
+  Wait,
+  Send,
+  Other,
+};
+
+/// One-character lane symbol for each span kind.
+char span_symbol(SpanKind kind) noexcept;
+const char* span_name(SpanKind kind) noexcept;
+
+struct Span {
+  std::uint64_t lane;  // processor / rank
+  SpanKind kind;
+  SimTime begin;
+  SimTime end;
+  std::string label;
+};
+
+struct PointEvent {
+  std::uint64_t lane;
+  SimTime at;
+  std::string label;
+};
+
+class Trace {
+ public:
+  void add_span(std::uint64_t lane, SpanKind kind, SimTime begin, SimTime end,
+                std::string label = {});
+  void add_event(std::uint64_t lane, SimTime at, std::string label);
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  const std::vector<PointEvent>& events() const noexcept { return events_; }
+  SimTime horizon() const noexcept { return horizon_; }
+
+  /// Renders an ASCII Gantt chart with `columns` characters covering
+  /// [0, horizon]; one row per lane, legend appended.
+  std::string gantt(std::size_t lanes, std::size_t columns = 100) const;
+
+  void clear();
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<PointEvent> events_;
+  SimTime horizon_ = SimTime::zero();
+};
+
+}  // namespace specomp::des

@@ -1,0 +1,51 @@
+#include "model/calibrate.hpp"
+
+#include "support/contracts.hpp"
+
+namespace specomp::model {
+
+std::pair<double, double> fit_linear_comm(
+    std::span<const MeasuredCommPoint> points) {
+  SPEC_EXPECTS(!points.empty());
+  if (points.size() == 1) {
+    const auto& pt = points.front();
+    SPEC_EXPECTS(pt.p > 0);
+    return {0.0, pt.t_comm_seconds / static_cast<double>(pt.p)};
+  }
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  const auto n = static_cast<double>(points.size());
+  for (const auto& pt : points) {
+    const auto x = static_cast<double>(pt.p);
+    sx += x;
+    sy += pt.t_comm_seconds;
+    sxx += x * x;
+    sxy += x * pt.t_comm_seconds;
+  }
+  const double denom = n * sxx - sx * sx;
+  SPEC_EXPECTS(denom != 0.0);  // at least two distinct p values
+  const double slope = (n * sxy - sx * sy) / denom;
+  const double base = (sy - slope * sx) / n;
+  return {base, slope};
+}
+
+ModelParams calibrate(const CalibrationInputs& inputs,
+                      std::span<const MeasuredCommPoint> comm_points) {
+  SPEC_EXPECTS(inputs.total_variables > 0);
+  SPEC_EXPECTS(inputs.cluster.size() > 0);
+  ModelParams params;
+  params.total_variables = inputs.total_variables;
+  params.f_comp = inputs.f_comp;
+  params.f_spec = inputs.f_spec;
+  params.f_check = inputs.f_check;
+  params.k = inputs.k;
+  params.cluster = inputs.cluster;
+  const auto [base, slope] = fit_linear_comm(comm_points);
+  params.t_comm_base = base;
+  params.t_comm_slope = slope;
+  return params;
+}
+
+}  // namespace specomp::model

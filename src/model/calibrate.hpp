@@ -1,0 +1,46 @@
+// Model calibration from measured runs.
+//
+// The paper parameterises its Section 4 model with values measured from the
+// N-body implementation (per-variable operation counts, communication times,
+// observed recomputation fraction k) and then compares model predictions
+// with measured speedups (Figure 9).  This module performs that
+// parameterisation: a least-squares fit of the linear t_comm(p) law from
+// per-p measured communication times, combined with the application's
+// operation constants.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "model/perf_model.hpp"
+#include "runtime/cluster.hpp"
+
+namespace specomp::model {
+
+struct MeasuredCommPoint {
+  std::size_t p = 0;
+  /// Mean per-iteration communication time observed at p processors.
+  double t_comm_seconds = 0.0;
+};
+
+/// Least-squares fit of t = base + slope * p.  With a single point the base
+/// is pinned to 0 (a line through the origin).
+std::pair<double, double> fit_linear_comm(std::span<const MeasuredCommPoint> points);
+
+struct CalibrationInputs {
+  std::size_t total_variables = 0;
+  double f_comp = 0.0;
+  double f_spec = 0.0;
+  double f_check = 0.0;
+  /// Observed recomputation fraction in [0, 1].
+  double k = 0.0;
+  runtime::Cluster cluster;
+};
+
+/// Builds a parameterised model from application constants and measured
+/// communication times.
+ModelParams calibrate(const CalibrationInputs& inputs,
+                      std::span<const MeasuredCommPoint> comm_points);
+
+}  // namespace specomp::model

@@ -1,0 +1,148 @@
+#include "model/perf_model.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace specomp::model {
+
+PerfModel::PerfModel(ModelParams params) : params_(std::move(params)) {
+  SPEC_EXPECTS(params_.total_variables > 0);
+  SPEC_EXPECTS(params_.f_comp > 0.0);
+  SPEC_EXPECTS(params_.f_spec >= 0.0);
+  SPEC_EXPECTS(params_.f_check >= 0.0);
+  SPEC_EXPECTS(params_.k >= 0.0 && params_.k <= 1.0);
+  SPEC_EXPECTS(params_.cluster.size() > 0);
+}
+
+double PerfModel::t_comm(std::size_t p) const {
+  return params_.t_comm_base + params_.t_comm_slope * static_cast<double>(p);
+}
+
+double PerfModel::allocation(std::size_t i, std::size_t p) const {
+  SPEC_EXPECTS(i < p);
+  SPEC_EXPECTS(p <= params_.cluster.size());
+  const double total_capacity = params_.cluster.prefix(p).total_ops_per_sec();
+  return static_cast<double>(params_.total_variables) *
+         params_.cluster.machine(i).ops_per_sec / total_capacity;
+}
+
+double PerfModel::iteration_time_no_spec(std::size_t p) const {
+  SPEC_EXPECTS(p >= 1 && p <= params_.cluster.size());
+  if (p == 1) {
+    return static_cast<double>(params_.total_variables) * params_.f_comp /
+           params_.cluster.machine(0).ops_per_sec;
+  }
+  // With ideal balancing N_i f_comp / M_i is equal on all processors.
+  const double compute =
+      allocation(0, p) * params_.f_comp / params_.cluster.machine(0).ops_per_sec;
+  return compute + t_comm(p);
+}
+
+double PerfModel::iteration_time_spec(std::size_t i, std::size_t p) const {
+  SPEC_EXPECTS(i < p);
+  const auto n = static_cast<double>(params_.total_variables);
+  const double m = params_.cluster.machine(i).ops_per_sec;
+  const double n_i = allocation(i, p);
+  const double speculate = (n - n_i) * params_.f_spec / m;
+  const double compute = n_i * params_.f_comp / m;
+  const double check = (n - n_i) * params_.f_check / m;
+  const double recompute = params_.k * n_i * params_.f_comp / m;
+  return std::max(speculate + compute, t_comm(p)) + check + recompute;
+}
+
+double PerfModel::iteration_time_spec(std::size_t p) const {
+  SPEC_EXPECTS(p >= 1 && p <= params_.cluster.size());
+  if (p == 1) return iteration_time_no_spec(1);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < p; ++i)
+    worst = std::max(worst, iteration_time_spec(i, p));
+  return worst;
+}
+
+double PerfModel::speedup_no_spec(std::size_t p) const {
+  return iteration_time_no_spec(1) / iteration_time_no_spec(p);
+}
+
+double PerfModel::speedup_spec(std::size_t p) const {
+  return iteration_time_no_spec(1) / iteration_time_spec(p);
+}
+
+double PerfModel::max_speedup(std::size_t p) const {
+  return params_.cluster.prefix(p).max_speedup();
+}
+
+double PerfModel::improvement(std::size_t p) const {
+  return speedup_spec(p) / speedup_no_spec(p) - 1.0;
+}
+
+ModelParams paper_figure5_params(double k) {
+  ModelParams params;
+  params.total_variables = 1000;
+  // One variable costs an O(N) force sum: f_comp ~ 70 ops/pair * (N-1).
+  params.f_comp = 70.0 * 999.0;
+  // The paper's generic example states f_comp = 100 f_spec = 50 f_check.
+  // Taken literally with the 10:1 heterogeneous fleet, eq. 8 makes the
+  // slowest processor's speculation + checking of its (N - N_16) ~ 989
+  // remote variables cost MORE than its own 11-variable compute share, so
+  // the model would predict speculation losing at p = 16 — contradicting
+  // the paper's reported ~25% model gain.  We therefore calibrate the ratio
+  // to f_comp / f_spec = 500 (between the paper's generic 100 and the
+  // 70(N-1)/12 ~ 5800 of its own N-body measurements), which reproduces the
+  // published Figure 5/6 shapes.  See EXPERIMENTS.md.
+  params.f_spec = params.f_comp / 500.0;
+  params.f_check = params.f_comp / 250.0;
+  params.k = k;
+  params.cluster = runtime::Cluster::linear(16, 12.0e6, 10.0);
+  // t_comm(16) = balanced computation time per iteration on 16 processors;
+  // with ideal balancing that time is N f_comp / sum_i(M_i).
+  const double balanced16 = static_cast<double>(params.total_variables) *
+                            params.f_comp / params.cluster.total_ops_per_sec();
+  params.t_comm_base = 0.0;
+  params.t_comm_slope = balanced16 / 16.0;
+  return params;
+}
+
+double stochastic_iteration_time_spec(const PerfModel& model, std::size_t p,
+                                      const StochasticCommModel& stochastic) {
+  SPEC_EXPECTS(stochastic.samples > 0);
+  const auto& params = model.params();
+  support::Xoshiro256 rng(stochastic.seed);
+  double sum = 0.0;
+  for (std::size_t s = 0; s < stochastic.samples; ++s) {
+    const double comm =
+        model.t_comm(p) + (stochastic.jitter_mean_seconds > 0.0
+                               ? rng.exponential(stochastic.jitter_mean_seconds)
+                               : 0.0);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < p; ++i) {
+      const auto n = static_cast<double>(params.total_variables);
+      const double m = params.cluster.machine(i).ops_per_sec;
+      const double n_i = model.allocation(i, p);
+      const double work = (n - n_i) * params.f_spec / m + n_i * params.f_comp / m;
+      const double tail = (n - n_i) * params.f_check / m +
+                          params.k * n_i * params.f_comp / m;
+      worst = std::max(worst, std::max(work, comm) + tail);
+    }
+    sum += worst;
+  }
+  return sum / static_cast<double>(stochastic.samples);
+}
+
+double stochastic_iteration_time_no_spec(const PerfModel& model, std::size_t p,
+                                         const StochasticCommModel& stochastic) {
+  SPEC_EXPECTS(stochastic.samples > 0);
+  support::Xoshiro256 rng(stochastic.seed + 1);
+  const double compute = model.iteration_time_no_spec(p) - model.t_comm(p);
+  double sum = 0.0;
+  for (std::size_t s = 0; s < stochastic.samples; ++s) {
+    const double comm =
+        model.t_comm(p) + (stochastic.jitter_mean_seconds > 0.0
+                               ? rng.exponential(stochastic.jitter_mean_seconds)
+                               : 0.0);
+    sum += compute + comm;
+  }
+  return sum / static_cast<double>(stochastic.samples);
+}
+
+}  // namespace specomp::model

@@ -1,0 +1,104 @@
+// Empirical performance model (paper, Section 4).
+//
+// Estimates per-iteration execution time of a synchronous iterative
+// algorithm with and without speculative computation on a heterogeneous
+// processor set, using the paper's equations:
+//
+//   eq. 3   t_total(1)   = N f_comp / M_1
+//   eq. 4-5 N_i ∝ M_i, sum N_i = N              (ideal load balance)
+//   eq. 6   t_total(p)   = N_i f_comp / M_i + t_comm(p)
+//   eq. 8   t̂_i(p)      = max[(N-N_i) f_spec/M_i + N_i f_comp/M_i,
+//                              t_comm(p)]
+//                          + (N-N_i) f_check/M_i + k N_i f_comp/M_i
+//   eq. 9   t̂(p)        = max_i t̂_i(p)
+//
+// The model treats N_i as continuous (ideal balancing), communication time
+// as constant across processors and iterations, and k as a given fraction
+// of recomputed variables.  A Monte-Carlo extension relaxing the constant
+// t_comm assumption (the paper's stated future work) is also provided.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "support/rng.hpp"
+
+namespace specomp::model {
+
+struct ModelParams {
+  /// N: total number of application variables.
+  std::size_t total_variables = 1000;
+  /// f_comp / f_spec / f_check: operations per variable for computing,
+  /// speculating and checking.  Paper's Fig. 5/6 use
+  /// f_comp = 100 f_spec = 50 f_check.
+  double f_comp = 70.0;
+  double f_spec = 0.7;
+  double f_check = 1.4;
+  /// k: fraction of variables recomputed due to speculation error, in [0,1].
+  double k = 0.02;
+  /// t_comm(p) = t_comm_base + t_comm_slope * p  (seconds).  The paper
+  /// assumes linear growth with p.
+  double t_comm_base = 0.0;
+  double t_comm_slope = 0.0;
+  /// Processor set, fastest first (M_1 >= M_2 >= ...).
+  runtime::Cluster cluster;
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(ModelParams params);
+
+  const ModelParams& params() const noexcept { return params_; }
+
+  /// t_comm(p) from the linear law.
+  double t_comm(std::size_t p) const;
+  /// Ideal continuous allocation N_i for processor i (0-based) in a
+  /// p-processor run (eqs. 4-5).
+  double allocation(std::size_t i, std::size_t p) const;
+  /// Per-iteration time without speculation (eqs. 3, 6).
+  double iteration_time_no_spec(std::size_t p) const;
+  /// Per-iteration time of processor i with speculation, FW = 1 (eq. 8).
+  double iteration_time_spec(std::size_t i, std::size_t p) const;
+  /// Per-iteration time with speculation (eq. 9).
+  double iteration_time_spec(std::size_t p) const;
+
+  /// speedup(p) relative to the fastest processor P1.
+  double speedup_no_spec(std::size_t p) const;
+  double speedup_spec(std::size_t p) const;
+  /// speedup_max(p) = sum M_i / M_1.
+  double max_speedup(std::size_t p) const;
+
+  /// Predicted gain of speculation over no speculation at p processors,
+  /// as a fraction (0.34 = 34%).
+  double improvement(std::size_t p) const;
+
+ private:
+  ModelParams params_;
+};
+
+/// Constructs the parameter set of the paper's Figures 5 and 6: N = 1000,
+/// 16 processors with capacities declining linearly 10:1,
+/// f_comp = 100 f_spec = 50 f_check, t_comm linear in p with
+/// t_comm(16) equal to the balanced computation time per iteration at p=16.
+ModelParams paper_figure5_params(double k = 0.02);
+
+/// Monte-Carlo extension (paper future work): per-iteration communication
+/// time is a random draw instead of a constant.
+struct StochasticCommModel {
+  /// Mean follows the linear law of `params`; each iteration draws
+  /// t_comm ~ mean + Exponential(jitter_mean) (heavy-tailed transients).
+  double jitter_mean_seconds = 0.0;
+  std::size_t samples = 10000;
+  std::uint64_t seed = 42;
+};
+
+/// Expected per-iteration time with speculation under stochastic t_comm.
+double stochastic_iteration_time_spec(const PerfModel& model, std::size_t p,
+                                      const StochasticCommModel& stochastic);
+/// Expected per-iteration time without speculation under stochastic t_comm.
+double stochastic_iteration_time_no_spec(const PerfModel& model, std::size_t p,
+                                         const StochasticCommModel& stochastic);
+
+}  // namespace specomp::model

@@ -1,0 +1,130 @@
+#include "nbody/baseline.hpp"
+
+#include "net/serialization.hpp"
+#include "nbody/forces.hpp"
+#include "support/contracts.hpp"
+
+namespace specomp::nbody {
+
+namespace {
+
+constexpr int kTagBase = 1000;  // same base as the speculative engine
+
+std::vector<double> pack_block(std::span<const Vec3> pos,
+                               std::span<const Vec3> vel, std::size_t lo,
+                               std::size_t count) {
+  std::vector<double> block;
+  block.reserve(count * kDoublesPerParticle);
+  for (std::size_t i = lo; i < lo + count; ++i) {
+    block.push_back(pos[i].x);
+    block.push_back(pos[i].y);
+    block.push_back(pos[i].z);
+    block.push_back(vel[i].x);
+    block.push_back(vel[i].y);
+    block.push_back(vel[i].z);
+  }
+  return block;
+}
+
+void unpack_block(std::span<const double> block, std::span<Vec3> pos,
+                  std::span<Vec3> vel, std::size_t lo, std::size_t count) {
+  SPEC_EXPECTS(block.size() == count * kDoublesPerParticle);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double* d = block.data() + i * kDoublesPerParticle;
+    pos[lo + i] = {d[0], d[1], d[2]};
+    vel[lo + i] = {d[3], d[4], d[5]};
+  }
+}
+
+}  // namespace
+
+void run_fig7_rank(runtime::Communicator& comm, const NBodyConfig& config,
+                   const Partition& partition,
+                   std::span<const Particle> initial, long iterations,
+                   std::vector<Particle>& final_local) {
+  const auto rank = static_cast<std::size_t>(comm.rank());
+  const int p = comm.size();
+  SPEC_EXPECTS(partition.counts.size() == static_cast<std::size_t>(p));
+  SPEC_EXPECTS(initial.size() == partition.total());
+  SPEC_EXPECTS(iterations >= 1);
+
+  const std::size_t n = initial.size();
+  const std::size_t lo = partition.begin(rank);
+  const std::size_t count = partition.counts[rank];
+
+  std::vector<double> mass(n);
+  std::vector<Vec3> pos(n);
+  std::vector<Vec3> vel(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mass[i] = initial[i].mass;
+    pos[i] = initial[i].pos;
+    vel[i] = initial[i].vel;
+  }
+  std::vector<Vec3> acc(count);
+
+  const auto local_pos = [&] { return std::span<Vec3>(pos).subspan(lo, count); };
+  const auto local_vel = [&] { return std::span<Vec3>(vel).subspan(lo, count); };
+
+  const double update_ops = kOpsPerIntegration * static_cast<double>(count);
+
+  // Iteration 0: every rank holds the complete initial state — compute only.
+  acc.assign(count, Vec3{});
+  accumulate_accelerations(local_pos(), pos, mass, config.softening2, lo, acc);
+  euler_step(local_pos(), local_vel(), acc, config.dt);
+  comm.compute(kOpsPerPairForce * static_cast<double>(count) *
+                       static_cast<double>(n - 1) +
+                   update_ops,
+               runtime::Phase::Compute);
+  comm.timer().bump_iterations();
+
+  for (long t = 1; t < iterations; ++t) {
+    const int tag = kTagBase + static_cast<int>(t);
+
+    // send X_j to all processors
+    {
+      const std::vector<double> block = pack_block(pos, vel, lo, count);
+      for (int k = 0; k < p; ++k)
+        if (k != comm.rank()) comm.send_doubles(k, tag, block);
+    }
+
+    // Own block's contribution overlaps with the messages in flight.
+    acc.assign(count, Vec3{});
+    accumulate_accelerations(local_pos(), local_pos(), {mass.data() + lo, count},
+                             config.softening2, 0, acc);
+    comm.compute(kOpsPerPairForce * static_cast<double>(count) *
+                     static_cast<double>(count - 1),
+                 runtime::Phase::Compute);
+
+    // while num_recvd < p-1: receive a message, compute force due to X_k
+    for (int received = 0; received + 1 < p; ++received) {
+      const net::Message msg = comm.recv_any(tag);
+      net::ByteReader reader(msg.payload);
+      const std::vector<double> block = reader.read_vector<double>();
+      const auto src = static_cast<std::size_t>(msg.src);
+      const std::size_t src_lo = partition.begin(src);
+      const std::size_t src_count = partition.counts[src];
+      unpack_block(block, pos, vel, src_lo, src_count);
+      accumulate_accelerations(
+          local_pos(), {pos.data() + src_lo, src_count},
+          {mass.data() + src_lo, src_count}, config.softening2,
+          std::numeric_limits<std::size_t>::max(), acc);
+      comm.compute(kOpsPerPairForce * static_cast<double>(count) *
+                       static_cast<double>(src_count),
+                   runtime::Phase::Compute);
+    }
+
+    // update velocity, position for all local particles
+    euler_step(local_pos(), local_vel(), acc, config.dt);
+    comm.compute(update_ops, runtime::Phase::Compute);
+    comm.timer().bump_iterations();
+  }
+
+  final_local.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    final_local[i].mass = mass[lo + i];
+    final_local[i].pos = pos[lo + i];
+    final_local[i].vel = vel[lo + i];
+  }
+}
+
+}  // namespace specomp::nbody

@@ -1,0 +1,30 @@
+// The paper's Figure 7 algorithm: parallel N-body without speculation.
+//
+// Each iteration the rank broadcasts its particle block, then folds in peer
+// contributions *in arrival order* (overlapping the remaining waits with the
+// force work for blocks already delivered), computes its own block's
+// contribution while the first messages are in flight, and finally updates
+// position and velocity.  This is the measured no-speculation baseline of
+// the paper's Figure 8 (its "window size 0").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nbody/types.hpp"
+#include "runtime/communicator.hpp"
+
+namespace specomp::nbody {
+
+/// Runs the Figure-7 algorithm for `iterations` steps on this rank.
+/// `initial` is the full initial particle set (the paper's "Distribute
+/// particles to processors" hands every processor the complete state, which
+/// also makes iteration 0 compute-only — the speculative variant uses the
+/// same convention, keeping comparisons exact).  On return `final_local`
+/// holds this rank's particles after the last step.
+void run_fig7_rank(runtime::Communicator& comm, const NBodyConfig& config,
+                   const Partition& partition,
+                   std::span<const Particle> initial, long iterations,
+                   std::vector<Particle>& final_local);
+
+}  // namespace specomp::nbody

@@ -1,0 +1,27 @@
+#include "nbody/energy.hpp"
+
+#include <cmath>
+
+namespace specomp::nbody {
+
+Diagnostics compute_diagnostics(std::span<const Particle> particles,
+                                double softening2) {
+  Diagnostics diag;
+  for (const auto& p : particles) {
+    diag.kinetic += 0.5 * p.mass * p.vel.norm2();
+    diag.momentum += p.mass * p.vel;
+    diag.angular_momentum += p.mass * Vec3{p.pos.y * p.vel.z - p.pos.z * p.vel.y,
+                                           p.pos.z * p.vel.x - p.pos.x * p.vel.z,
+                                           p.pos.x * p.vel.y - p.pos.y * p.vel.x};
+  }
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    for (std::size_t j = i + 1; j < particles.size(); ++j) {
+      const double dist = std::sqrt(
+          (particles[i].pos - particles[j].pos).norm2() + softening2);
+      diag.potential -= particles[i].mass * particles[j].mass / dist;
+    }
+  }
+  return diag;
+}
+
+}  // namespace specomp::nbody

@@ -1,0 +1,23 @@
+// Conservation diagnostics for validating the simulation's physics.
+#pragma once
+
+#include <span>
+
+#include "nbody/types.hpp"
+
+namespace specomp::nbody {
+
+struct Diagnostics {
+  double kinetic = 0.0;
+  double potential = 0.0;
+  Vec3 momentum;
+  Vec3 angular_momentum;
+
+  double total_energy() const noexcept { return kinetic + potential; }
+};
+
+/// O(N^2) energy/momentum computation over the full particle set.
+Diagnostics compute_diagnostics(std::span<const Particle> particles,
+                                double softening2);
+
+}  // namespace specomp::nbody

@@ -1,0 +1,63 @@
+#include "nbody/forces.hpp"
+
+#include <limits>
+
+#include "support/contracts.hpp"
+
+namespace specomp::nbody {
+
+void accumulate_accelerations(std::span<const Vec3> target_pos,
+                              std::span<const Vec3> src_pos,
+                              std::span<const double> src_mass,
+                              double softening2, std::size_t skip_offset,
+                              std::span<Vec3> acc) {
+  SPEC_EXPECTS(src_pos.size() == src_mass.size());
+  SPEC_EXPECTS(acc.size() == target_pos.size());
+  for (std::size_t i = 0; i < target_pos.size(); ++i) {
+    Vec3 sum = acc[i];
+    const std::size_t self = skip_offset == std::numeric_limits<std::size_t>::max()
+                                 ? std::numeric_limits<std::size_t>::max()
+                                 : skip_offset + i;
+    for (std::size_t j = 0; j < src_pos.size(); ++j) {
+      if (j == self) continue;
+      sum += pair_acceleration(target_pos[i], src_pos[j], src_mass[j], softening2);
+    }
+    acc[i] = sum;
+  }
+}
+
+std::vector<Vec3> all_accelerations(std::span<const Particle> particles,
+                                    double softening2) {
+  const std::size_t n = particles.size();
+  std::vector<Vec3> pos(n);
+  std::vector<double> mass(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] = particles[i].pos;
+    mass[i] = particles[i].mass;
+  }
+  std::vector<Vec3> acc(n);
+  accumulate_accelerations(pos, pos, mass, softening2, 0, acc);
+  return acc;
+}
+
+void euler_step(std::span<Vec3> pos, std::span<Vec3> vel,
+                std::span<const Vec3> acc, double dt) {
+  SPEC_EXPECTS(pos.size() == vel.size());
+  SPEC_EXPECTS(pos.size() == acc.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    vel[i] += dt * acc[i];       // kick first
+    pos[i] += dt * vel[i];       // drift with the *new* velocity
+  }
+}
+
+void leapfrog_step(std::span<Particle> particles, double softening2, double dt) {
+  std::vector<Vec3> acc = all_accelerations(particles, softening2);
+  for (std::size_t i = 0; i < particles.size(); ++i)
+    particles[i].vel += (0.5 * dt) * acc[i];
+  for (auto& p : particles) p.pos += dt * p.vel;
+  acc = all_accelerations(particles, softening2);
+  for (std::size_t i = 0; i < particles.size(); ++i)
+    particles[i].vel += (0.5 * dt) * acc[i];
+}
+
+}  // namespace specomp::nbody

@@ -1,0 +1,51 @@
+// O(N^2) gravitational force kernel (G = 1 units, Plummer softening).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nbody/types.hpp"
+
+namespace specomp::nbody {
+
+/// Acceleration exerted on a body at `pos` by a source of mass `src_mass`
+/// at `src_pos`:  a = m (r_s - r) / (|r_s - r|^2 + eps^2)^{3/2}.
+inline Vec3 pair_acceleration(const Vec3& pos, const Vec3& src_pos,
+                              double src_mass, double softening2) noexcept {
+  const Vec3 d = src_pos - pos;
+  const double dist2 = d.norm2() + softening2;
+  const double inv = 1.0 / (dist2 * std::sqrt(dist2));
+  return (src_mass * inv) * d;
+}
+
+/// Accumulates into `acc` the accelerations that the source block
+/// (positions `src_pos`, masses `src_mass`) exerts on each target position.
+/// Self-interaction is suppressed by the softened kernel only when targets
+/// and sources are distinct ranges; when they overlap the caller passes
+/// `skip_offset` = index offset of targets within sources so i == j pairs
+/// are skipped (pass SIZE_MAX for disjoint ranges).
+void accumulate_accelerations(std::span<const Vec3> target_pos,
+                              std::span<const Vec3> src_pos,
+                              std::span<const double> src_mass,
+                              double softening2, std::size_t skip_offset,
+                              std::span<Vec3> acc);
+
+/// Full O(N^2) accelerations of every particle due to every other.
+std::vector<Vec3> all_accelerations(std::span<const Particle> particles,
+                                    double softening2);
+
+/// Semi-implicit (symplectic) Euler step: velocities absorb the
+/// acceleration first, then positions drift with the *new* velocity.  This
+/// is the integrator the paper's speculation-error analysis implies: eq. 10
+/// predicts r* = r + v_old dt, and the paper notes "this introduces a small
+/// error since the resultant forces on the particle may have altered its
+/// velocity" — i.e. the true update uses the kicked velocity, so the
+/// speculation error per step is a dt^2 per particle.
+void euler_step(std::span<Vec3> pos, std::span<Vec3> vel,
+                std::span<const Vec3> acc, double dt);
+
+/// Kick-drift-kick leapfrog (second order, symplectic) for the serial
+/// reference integrator comparisons.
+void leapfrog_step(std::span<Particle> particles, double softening2, double dt);
+
+}  // namespace specomp::nbody

@@ -1,0 +1,114 @@
+#include "nbody/init.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace specomp::nbody {
+
+namespace {
+
+using support::Xoshiro256;
+
+Vec3 random_unit_vector(Xoshiro256& rng) {
+  // Uniform on the sphere via z / azimuth sampling.
+  const double z = rng.uniform(-1.0, 1.0);
+  const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double s = std::sqrt(std::max(0.0, 1.0 - z * z));
+  return {s * std::cos(phi), s * std::sin(phi), z};
+}
+
+void zero_total_momentum(std::vector<Particle>& particles) {
+  Vec3 momentum;
+  double mass = 0.0;
+  for (const auto& p : particles) {
+    momentum += p.mass * p.vel;
+    mass += p.mass;
+  }
+  const Vec3 drift = (1.0 / mass) * momentum;
+  for (auto& p : particles) p.vel -= drift;
+}
+
+}  // namespace
+
+std::vector<Particle> make_initial_conditions(const NBodyConfig& config) {
+  switch (config.init) {
+    case InitKind::UniformCube: return init_uniform_cube(config.n, config.seed);
+    case InitKind::Plummer: return init_plummer(config.n, config.seed);
+    case InitKind::RotatingDisk: return init_rotating_disk(config.n, config.seed);
+  }
+  SPEC_ASSERT(false);
+  return {};
+}
+
+std::vector<Particle> init_uniform_cube(std::size_t n, std::uint64_t seed) {
+  SPEC_EXPECTS(n > 0);
+  Xoshiro256 rng(seed);
+  std::vector<Particle> particles(n);
+  const double mass = 1.0 / static_cast<double>(n);
+  for (auto& p : particles) {
+    p.mass = mass;
+    p.pos = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    p.vel = rng.uniform(0.0, 0.1) * random_unit_vector(rng);
+  }
+  zero_total_momentum(particles);
+  return particles;
+}
+
+std::vector<Particle> init_plummer(std::size_t n, std::uint64_t seed) {
+  SPEC_EXPECTS(n > 0);
+  Xoshiro256 rng(seed);
+  std::vector<Particle> particles(n);
+  const double mass = 1.0 / static_cast<double>(n);  // total mass 1, G = 1
+  for (auto& p : particles) {
+    p.mass = mass;
+    // Radius from the Plummer cumulative mass profile (Aarseth et al. 1974),
+    // truncated to avoid far outliers.
+    double r = 0.0;
+    for (;;) {
+      const double x = rng.uniform(1e-6, 1.0);
+      r = 1.0 / std::sqrt(std::pow(x, -2.0 / 3.0) - 1.0);
+      if (r < 10.0) break;
+    }
+    p.pos = r * random_unit_vector(rng);
+    // Velocity magnitude from the local escape speed scaled by a factor
+    // drawn from the isotropic distribution q^2 (1-q^2)^{7/2} (von Neumann
+    // rejection).
+    const double v_escape = std::sqrt(2.0) * std::pow(1.0 + r * r, -0.25);
+    double q = 0.0;
+    for (;;) {
+      q = rng.uniform(0.0, 1.0);
+      const double g = q * q * std::pow(1.0 - q * q, 3.5);
+      if (rng.uniform(0.0, 0.1) < g) break;
+    }
+    p.vel = (q * v_escape) * random_unit_vector(rng);
+  }
+  zero_total_momentum(particles);
+  return particles;
+}
+
+std::vector<Particle> init_rotating_disk(std::size_t n, std::uint64_t seed) {
+  SPEC_EXPECTS(n > 0);
+  Xoshiro256 rng(seed);
+  std::vector<Particle> particles(n);
+  const double mass = 1.0 / static_cast<double>(n);
+  for (auto& p : particles) {
+    p.mass = mass;
+    // Exponential surface-density-ish radial profile, thin vertical extent.
+    const double r = 0.3 + rng.exponential(0.7);
+    const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    p.pos = {r * std::cos(phi), r * std::sin(phi), rng.normal(0.0, 0.02)};
+    // Near-circular orbit around the collective mass interior to r; with
+    // total mass 1 and most of it inside, v_c ~ sqrt(M(<r)/r) ~ sqrt(1/r)
+    // is a serviceable cold start.
+    const double v_circular = std::sqrt(1.0 / r);
+    p.vel = {-v_circular * std::sin(phi), v_circular * std::cos(phi),
+             rng.normal(0.0, 0.01)};
+  }
+  zero_total_momentum(particles);
+  return particles;
+}
+
+}  // namespace specomp::nbody

@@ -1,0 +1,26 @@
+// Initial conditions for the N-body case study.
+#pragma once
+
+#include <vector>
+
+#include "nbody/types.hpp"
+
+namespace specomp::nbody {
+
+/// Builds the configured initial particle set (deterministic in the seed).
+std::vector<Particle> make_initial_conditions(const NBodyConfig& config);
+
+/// Uniform positions in [-1,1]^3 with small isotropic random velocities.
+std::vector<Particle> init_uniform_cube(std::size_t n, std::uint64_t seed);
+
+/// Plummer sphere (scale radius 1) with isotropic velocities drawn to
+/// approximate virial equilibrium — the standard stellar-dynamics test case.
+std::vector<Particle> init_plummer(std::size_t n, std::uint64_t seed);
+
+/// Cold rotating disk: particles on near-circular orbits in the x-y plane.
+/// Velocities change slowly, which is the regime the paper identifies as
+/// ideal for speculation ("variables generally follow a relatively slow
+/// changing trend").
+std::vector<Particle> init_rotating_disk(std::size_t n, std::uint64_t seed);
+
+}  // namespace specomp::nbody

@@ -1,0 +1,22 @@
+#include "nbody/serial.hpp"
+
+#include "nbody/forces.hpp"
+
+namespace specomp::nbody {
+
+void serial_step(std::vector<Particle>& particles, double softening2, double dt) {
+  const std::vector<Vec3> acc = all_accelerations(particles, softening2);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    particles[i].vel += dt * acc[i];
+    particles[i].pos += dt * particles[i].vel;
+  }
+}
+
+std::vector<Particle> run_serial(std::vector<Particle> particles,
+                                 const NBodyConfig& config, long iterations) {
+  for (long t = 0; t < iterations; ++t)
+    serial_step(particles, config.softening2, config.dt);
+  return particles;
+}
+
+}  // namespace specomp::nbody

@@ -1,0 +1,20 @@
+// Serial reference simulation — ground truth for correctness tests and the
+// numerical baseline the parallel trajectories are compared against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nbody/types.hpp"
+
+namespace specomp::nbody {
+
+/// One semi-implicit Euler step of the full system (matches the parallel
+/// code's integrator exactly, so trajectories are bit-comparable).
+void serial_step(std::vector<Particle>& particles, double softening2, double dt);
+
+/// Runs `iterations` steps from the given initial conditions.
+std::vector<Particle> run_serial(std::vector<Particle> particles,
+                                 const NBodyConfig& config, long iterations);
+
+}  // namespace specomp::nbody

@@ -1,0 +1,74 @@
+// Core types of the O(N^2) gravitational N-body case study (paper, Sec. 5).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/vec3.hpp"
+
+namespace specomp::nbody {
+
+using support::Vec3;
+
+struct Particle {
+  double mass = 1.0;
+  Vec3 pos;
+  Vec3 vel;
+};
+
+/// Operation counts per the paper's measurements of its implementation:
+/// "computing the force between a pair of particles involves about 70
+/// floating point operations, speculating the position of a particle takes
+/// 12 floating point operations, error checking involves 24 operations."
+inline constexpr double kOpsPerPairForce = 70.0;
+inline constexpr double kOpsPerSpeculation = 12.0;  // per particle
+inline constexpr double kOpsPerCheck = 24.0;        // per particle
+/// Position/velocity update per particle (6 mul + 6 add).
+inline constexpr double kOpsPerIntegration = 12.0;
+
+/// Doubles per particle on the wire: position + velocity (masses are
+/// distributed once at startup and never change).
+inline constexpr std::size_t kDoublesPerParticle = 6;
+
+enum class InitKind {
+  UniformCube,    // uniform positions in a cube, small random velocities
+  Plummer,        // Plummer sphere with virial velocity dispersion
+  RotatingDisk,   // cold disk in near-circular orbits (smooth trajectories)
+};
+
+struct NBodyConfig {
+  std::size_t n = 1000;
+  double dt = 1.0e-3;
+  /// Plummer softening epsilon^2 keeps close encounters bounded.
+  double softening2 = 1.0e-4;
+  InitKind init = InitKind::Plummer;
+  std::uint64_t seed = 20240101;
+};
+
+/// Contiguous block partition of particles over ranks, proportional to
+/// processor capacity (paper eqs. 4-5: N_i / M_i equal).
+struct Partition {
+  std::vector<std::size_t> counts;
+  std::vector<std::size_t> offsets;  // offsets[r] = first index of rank r
+
+  static Partition from_counts(const std::vector<std::size_t>& counts) {
+    Partition part;
+    part.counts = counts;
+    part.offsets.resize(counts.size());
+    std::size_t at = 0;
+    for (std::size_t r = 0; r < counts.size(); ++r) {
+      part.offsets[r] = at;
+      at += counts[r];
+    }
+    return part;
+  }
+
+  std::size_t begin(std::size_t rank) const { return offsets[rank]; }
+  std::size_t end(std::size_t rank) const { return offsets[rank] + counts[rank]; }
+  std::size_t total() const {
+    return counts.empty() ? 0 : offsets.back() + counts.back();
+  }
+};
+
+}  // namespace specomp::nbody

@@ -1,0 +1,74 @@
+#include "net/channel.hpp"
+
+#include <string>
+
+#include "support/contracts.hpp"
+
+namespace specomp::net {
+
+namespace {
+
+double checked_effective_bandwidth(const ChannelConfig& config) {
+  SPEC_EXPECTS(config.bandwidth_bytes_per_sec > 0.0);
+  SPEC_EXPECTS(config.background_load >= 0.0 && config.background_load < 1.0);
+  return config.bandwidth_bytes_per_sec * (1.0 - config.background_load);
+}
+
+}  // namespace
+
+SharedMediumChannel::SharedMediumChannel(ChannelConfig config)
+    : config_(std::move(config)),
+      effective_bandwidth_(checked_effective_bandwidth(config_)),
+      medium_("shared-medium"),
+      rng_(config_.seed) {}
+
+des::SimTime SharedMediumChannel::post(const Message& msg, des::SimTime now) {
+  const std::size_t wire_bytes =
+      msg.size_bytes() + config_.per_message_overhead_bytes;
+  const auto tx = des::SimTime::seconds(static_cast<double>(wire_bytes) /
+                                        effective_bandwidth_);
+  // The shared medium serialises transmissions: later senders wait for the
+  // wire to free up, which is where contention (and the linear growth of
+  // t_comm with p for all-to-all traffic) comes from.
+  const des::SimTime tx_done = medium_.serve(now, tx);
+  des::SimTime delivered = tx_done + config_.propagation;
+  if (config_.extra_delay != nullptr) {
+    delivered += config_.extra_delay->delay(msg.src, msg.dst, wire_bytes, now, rng_);
+  }
+  record(wire_bytes, now, delivered);
+  return delivered;
+}
+
+PointToPointNetwork::PointToPointNetwork(ChannelConfig config, int num_ranks)
+    : config_(std::move(config)),
+      effective_bandwidth_(checked_effective_bandwidth(config_)),
+      num_ranks_(num_ranks),
+      rng_(config_.seed) {
+  SPEC_EXPECTS(num_ranks > 0);
+  links_.reserve(static_cast<std::size_t>(num_ranks) * num_ranks);
+  for (int s = 0; s < num_ranks; ++s)
+    for (int d = 0; d < num_ranks; ++d)
+      links_.emplace_back("link-" + std::to_string(s) + "-" + std::to_string(d));
+}
+
+des::Resource& PointToPointNetwork::link(Rank src, Rank dst) {
+  SPEC_EXPECTS(src >= 0 && src < num_ranks_);
+  SPEC_EXPECTS(dst >= 0 && dst < num_ranks_);
+  return links_[static_cast<std::size_t>(src) * num_ranks_ + dst];
+}
+
+des::SimTime PointToPointNetwork::post(const Message& msg, des::SimTime now) {
+  const std::size_t wire_bytes =
+      msg.size_bytes() + config_.per_message_overhead_bytes;
+  const auto tx = des::SimTime::seconds(static_cast<double>(wire_bytes) /
+                                        effective_bandwidth_);
+  const des::SimTime tx_done = link(msg.src, msg.dst).serve(now, tx);
+  des::SimTime delivered = tx_done + config_.propagation;
+  if (config_.extra_delay != nullptr) {
+    delivered += config_.extra_delay->delay(msg.src, msg.dst, wire_bytes, now, rng_);
+  }
+  record(wire_bytes, now, delivered);
+  return delivered;
+}
+
+}  // namespace specomp::net

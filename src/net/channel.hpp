@@ -1,0 +1,108 @@
+// Network channel models.
+//
+// A Channel answers one question for the runtime: given a message posted at
+// simulated time `now`, when is it delivered?  Two concrete models are
+// provided:
+//
+//  * SharedMediumChannel — one ethernet-like medium shared by all ranks.
+//    Transmissions are FIFO-serialised (des::Resource), so all-to-all
+//    exchanges contend and aggregate communication time grows roughly
+//    linearly with the number of processors, exactly the t_comm(p) behaviour
+//    the paper's model assumes and its testbed exhibited.
+//  * PointToPointNetwork — independent full-duplex links per ordered pair
+//    (an idealised switch), useful as a contention-free baseline.
+//
+// Both add a configurable LatencyModel on top (propagation, jitter, spikes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "des/resource.hpp"
+#include "des/time.hpp"
+#include "net/latency.hpp"
+#include "net/message.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace specomp::net {
+
+struct ChannelStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  support::OnlineStats delay_seconds;  // post-to-delivery per message
+};
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Computes the delivery time of `msg` posted at `now` and updates
+  /// internal state (medium occupancy, statistics).  Must be called in
+  /// nondecreasing `now` order — guaranteed under the DES kernel.
+  virtual des::SimTime post(const Message& msg, des::SimTime now) = 0;
+
+  const ChannelStats& stats() const noexcept { return stats_; }
+
+ protected:
+  void record(std::size_t bytes, des::SimTime posted, des::SimTime delivered) {
+    ++stats_.messages;
+    stats_.bytes += bytes;
+    stats_.delay_seconds.add((delivered - posted).to_seconds());
+  }
+
+ private:
+  ChannelStats stats_;
+};
+
+/// Configuration shared by both channel kinds.
+struct ChannelConfig {
+  /// Raw medium bandwidth in bytes/second (10 Mb/s ethernet ~ 1.25e6).
+  double bandwidth_bytes_per_sec = 1.25e6;
+  /// Fraction of the medium consumed by unrelated background traffic;
+  /// effective bandwidth is scaled by (1 - background_load).
+  double background_load = 0.0;
+  /// Fixed per-message wire/protocol overhead in bytes (headers, framing).
+  std::size_t per_message_overhead_bytes = 64;
+  /// Constant propagation delay.
+  des::SimTime propagation = des::SimTime::micros(100);
+  /// Optional extra-delay model (jitter, spikes); may be null.
+  std::shared_ptr<LatencyModel> extra_delay;
+  /// Seed for the channel's jitter stream.
+  std::uint64_t seed = 0x5eedc0ffee;
+};
+
+class SharedMediumChannel final : public Channel {
+ public:
+  explicit SharedMediumChannel(ChannelConfig config);
+
+  des::SimTime post(const Message& msg, des::SimTime now) override;
+
+  const des::Resource& medium() const noexcept { return medium_; }
+  double effective_bandwidth() const noexcept { return effective_bandwidth_; }
+
+ private:
+  ChannelConfig config_;
+  double effective_bandwidth_;
+  des::Resource medium_;
+  support::Xoshiro256 rng_;
+};
+
+class PointToPointNetwork final : public Channel {
+ public:
+  PointToPointNetwork(ChannelConfig config, int num_ranks);
+
+  des::SimTime post(const Message& msg, des::SimTime now) override;
+
+ private:
+  des::Resource& link(Rank src, Rank dst);
+
+  ChannelConfig config_;
+  double effective_bandwidth_;
+  int num_ranks_;
+  std::vector<des::Resource> links_;  // num_ranks^2, indexed src*n+dst
+  support::Xoshiro256 rng_;
+};
+
+}  // namespace specomp::net

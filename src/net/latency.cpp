@@ -1,0 +1,25 @@
+#include "net/latency.hpp"
+
+namespace specomp::net {
+
+des::SimTime TransientSpike::delay(Rank src, Rank dst, std::size_t,
+                                   des::SimTime now, support::Xoshiro256&) {
+  des::SimTime total = des::SimTime::zero();
+  for (const auto& rule : rules_) {
+    const bool src_ok = rule.src < 0 || rule.src == src;
+    const bool dst_ok = rule.dst < 0 || rule.dst == dst;
+    if (src_ok && dst_ok && now >= rule.window_begin && now < rule.window_end)
+      total += rule.extra;
+  }
+  return total;
+}
+
+des::SimTime CompositeLatency::delay(Rank src, Rank dst, std::size_t bytes,
+                                     des::SimTime now,
+                                     support::Xoshiro256& rng) {
+  des::SimTime total = des::SimTime::zero();
+  for (const auto& part : parts_) total += part->delay(src, dst, bytes, now, rng);
+  return total;
+}
+
+}  // namespace specomp::net

@@ -1,0 +1,116 @@
+// Latency models.
+//
+// The paper's testbed was a shared ethernet whose delays were "large and
+// often subject to large variations due to non-deterministic network
+// traffic".  These models supply the *variable* component of delay added on
+// top of deterministic transmission time: constant propagation, random
+// jitter, occasional random spikes, and scripted transient spikes on a
+// specific path (used to reproduce the scenario of the paper's Figure 4).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "des/time.hpp"
+#include "net/message.hpp"
+#include "support/rng.hpp"
+
+namespace specomp::net {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  /// Extra delay applied to a message from `src` to `dst` posted at `now`.
+  virtual des::SimTime delay(Rank src, Rank dst, std::size_t bytes,
+                             des::SimTime now, support::Xoshiro256& rng) = 0;
+};
+
+/// Always the same delay (the model's constant-t_comm assumption).
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(des::SimTime value) : value_(value) {}
+  des::SimTime delay(Rank, Rank, std::size_t, des::SimTime,
+                     support::Xoshiro256&) override {
+    return value_;
+  }
+
+ private:
+  des::SimTime value_;
+};
+
+/// Uniform jitter in [0, max_jitter).
+class UniformJitter final : public LatencyModel {
+ public:
+  explicit UniformJitter(des::SimTime max_jitter) : max_(max_jitter) {}
+  des::SimTime delay(Rank, Rank, std::size_t, des::SimTime,
+                     support::Xoshiro256& rng) override {
+    return des::SimTime::seconds(rng.uniform(0.0, max_.to_seconds()));
+  }
+
+ private:
+  des::SimTime max_;
+};
+
+/// Exponentially distributed jitter with the given mean — heavy enough a
+/// tail to occasionally stall one path, which is what FW > 1 exploits.
+class ExponentialJitter final : public LatencyModel {
+ public:
+  explicit ExponentialJitter(des::SimTime mean) : mean_(mean) {}
+  des::SimTime delay(Rank, Rank, std::size_t, des::SimTime,
+                     support::Xoshiro256& rng) override {
+    return des::SimTime::seconds(rng.exponential(mean_.to_seconds()));
+  }
+
+ private:
+  des::SimTime mean_;
+};
+
+/// With probability `prob`, adds `magnitude` (a burst of cross traffic).
+class RandomSpike final : public LatencyModel {
+ public:
+  RandomSpike(double prob, des::SimTime magnitude)
+      : prob_(prob), magnitude_(magnitude) {}
+  des::SimTime delay(Rank, Rank, std::size_t, des::SimTime,
+                     support::Xoshiro256& rng) override {
+    return rng.bernoulli(prob_) ? magnitude_ : des::SimTime::zero();
+  }
+
+ private:
+  double prob_;
+  des::SimTime magnitude_;
+};
+
+/// Scripted spike: messages from `src` to `dst` posted inside
+/// [window_begin, window_end) experience `extra` delay.  Reproduces the
+/// "first message from P1 to P2 is delayed in transit" scenario of Fig. 4.
+struct SpikeRule {
+  Rank src = -1;  // -1 matches any rank
+  Rank dst = -1;
+  des::SimTime window_begin = des::SimTime::zero();
+  des::SimTime window_end = des::SimTime::zero();
+  des::SimTime extra = des::SimTime::zero();
+};
+
+class TransientSpike final : public LatencyModel {
+ public:
+  explicit TransientSpike(std::vector<SpikeRule> rules)
+      : rules_(std::move(rules)) {}
+  des::SimTime delay(Rank src, Rank dst, std::size_t, des::SimTime now,
+                     support::Xoshiro256&) override;
+
+ private:
+  std::vector<SpikeRule> rules_;
+};
+
+/// Sums the delays of its parts.
+class CompositeLatency final : public LatencyModel {
+ public:
+  void add(std::unique_ptr<LatencyModel> part) { parts_.push_back(std::move(part)); }
+  des::SimTime delay(Rank src, Rank dst, std::size_t bytes, des::SimTime now,
+                     support::Xoshiro256& rng) override;
+
+ private:
+  std::vector<std::unique_ptr<LatencyModel>> parts_;
+};
+
+}  // namespace specomp::net

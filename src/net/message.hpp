@@ -1,0 +1,39 @@
+// Message record exchanged between simulated processors.
+//
+// Mirrors the PVM usage in the paper: asynchronous tagged sends between
+// ranks, received by (source, tag) matching.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace specomp::net {
+
+using Rank = int;
+
+/// Well-known tags used by the applications; user code may use any value.
+enum Tag : int {
+  kTagState = 1,      // iteration state exchange (X_j(t))
+  kTagBarrier = 2,    // barrier protocol
+  kTagReduce = 3,     // reduction protocol
+  kTagUser = 100,     // first tag free for applications
+};
+
+struct Message {
+  Rank src = -1;
+  Rank dst = -1;
+  int tag = 0;
+  /// Sender-assigned sequence number; with FIFO channels this lets receivers
+  /// distinguish successive iterations of the same (src, tag) stream.
+  std::uint64_t seq = 0;
+  des::SimTime sent_at = des::SimTime::zero();
+  des::SimTime delivered_at = des::SimTime::zero();
+  std::vector<std::byte> payload;
+
+  std::size_t size_bytes() const noexcept { return payload.size(); }
+};
+
+}  // namespace specomp::net

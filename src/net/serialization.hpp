@@ -1,0 +1,83 @@
+// Byte-level serialisation of message payloads.
+//
+// Only trivially copyable types and contiguous ranges of them are supported,
+// matching what the paper's application (particle state vectors) needs while
+// keeping wire sizes explicit — message length drives transmission time in
+// the network model, so serialisation *is* part of the performance model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace specomp::net {
+
+class ByteWriter {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    const auto* raw = reinterpret_cast<const std::byte*>(&value);
+    bytes_.insert(bytes_.end(), raw, raw + sizeof(T));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_span(std::span<const T> values) {
+    write<std::uint64_t>(values.size());
+    const auto* raw = reinterpret_cast<const std::byte*>(values.data());
+    bytes_.insert(bytes_.end(), raw, raw + values.size_bytes());
+  }
+
+  template <typename T>
+  void write_vector(const std::vector<T>& values) {
+    write_span(std::span<const T>(values));
+  }
+
+  std::size_t size() const noexcept { return bytes_.size(); }
+  std::vector<std::byte> take() && { return std::move(bytes_); }
+  const std::vector<std::byte>& bytes() const noexcept { return bytes_; }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    SPEC_EXPECTS(pos_ + sizeof(T) <= bytes_.size());
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> read_vector() {
+    const auto count = read<std::uint64_t>();
+    SPEC_EXPECTS(pos_ + count * sizeof(T) <= bytes_.size());
+    std::vector<T> values(count);
+    std::memcpy(values.data(), bytes_.data() + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    return values;
+  }
+
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace specomp::net

@@ -1,0 +1,97 @@
+#include "runtime/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/contracts.hpp"
+
+namespace specomp::runtime {
+
+Cluster::Cluster(std::vector<Machine> machines) : machines_(std::move(machines)) {
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    SPEC_EXPECTS(machines_[i].ops_per_sec > 0.0);
+    if (i > 0) SPEC_EXPECTS(machines_[i - 1].ops_per_sec >= machines_[i].ops_per_sec);
+  }
+}
+
+const Machine& Cluster::machine(std::size_t i) const {
+  SPEC_EXPECTS(i < machines_.size());
+  return machines_[i];
+}
+
+Cluster Cluster::prefix(std::size_t p) const {
+  SPEC_EXPECTS(p <= machines_.size());
+  return Cluster(std::vector<Machine>(machines_.begin(),
+                                      machines_.begin() + static_cast<long>(p)));
+}
+
+double Cluster::total_ops_per_sec() const noexcept {
+  double total = 0.0;
+  for (const auto& m : machines_) total += m.ops_per_sec;
+  return total;
+}
+
+double Cluster::max_speedup() const {
+  SPEC_EXPECTS(!machines_.empty());
+  return total_ops_per_sec() / machines_.front().ops_per_sec;
+}
+
+std::vector<std::size_t> Cluster::proportional_partition(
+    std::size_t total_items) const {
+  SPEC_EXPECTS(!machines_.empty());
+  const double total_capacity = total_ops_per_sec();
+  const std::size_t p = machines_.size();
+
+  std::vector<std::size_t> counts(p, 0);
+  std::vector<std::pair<double, std::size_t>> fractions;  // (frac, index)
+  fractions.reserve(p);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    const double exact = static_cast<double>(total_items) *
+                         machines_[i].ops_per_sec / total_capacity;
+    counts[i] = static_cast<std::size_t>(std::floor(exact));
+    assigned += counts[i];
+    fractions.emplace_back(exact - std::floor(exact), i);
+  }
+  // Distribute the remainder to the largest fractional parts (stable for
+  // equal fractions: lower index first, i.e. faster machine first).
+  std::stable_sort(fractions.begin(), fractions.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t r = 0; assigned < total_items; ++r, ++assigned)
+    ++counts[fractions[r % p].second];
+
+  SPEC_ENSURES(std::accumulate(counts.begin(), counts.end(), std::size_t{0}) ==
+               total_items);
+  return counts;
+}
+
+Cluster Cluster::homogeneous(std::size_t p, double ops_per_sec) {
+  SPEC_EXPECTS(p > 0);
+  std::vector<Machine> machines;
+  machines.reserve(p);
+  for (std::size_t i = 0; i < p; ++i)
+    machines.push_back({"node" + std::to_string(i), ops_per_sec});
+  return Cluster(std::move(machines));
+}
+
+Cluster Cluster::linear(std::size_t p, double fastest, double ratio) {
+  SPEC_EXPECTS(p > 0);
+  SPEC_EXPECTS(fastest > 0.0);
+  SPEC_EXPECTS(ratio >= 1.0);
+  std::vector<Machine> machines;
+  machines.reserve(p);
+  const double slowest = fastest / ratio;
+  for (std::size_t i = 0; i < p; ++i) {
+    const double frac = p == 1 ? 0.0
+                               : static_cast<double>(i) /
+                                     static_cast<double>(p - 1);
+    machines.push_back(
+        {"node" + std::to_string(i), fastest + frac * (slowest - fastest)});
+  }
+  return Cluster(std::move(machines));
+}
+
+Cluster Cluster::paper_fleet() { return linear(16, 1.2e6, 10.0); }
+
+}  // namespace specomp::runtime

@@ -1,0 +1,68 @@
+#include "runtime/collectives.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace specomp::runtime {
+
+std::vector<std::vector<double>> gather(Communicator& comm, net::Rank root,
+                                        std::span<const double> local, int tag) {
+  SPEC_EXPECTS(root >= 0 && root < comm.size());
+  std::vector<std::vector<double>> blocks;
+  if (comm.rank() == root) {
+    blocks.resize(static_cast<std::size_t>(comm.size()));
+    blocks[static_cast<std::size_t>(root)].assign(local.begin(), local.end());
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r == root) continue;
+      blocks[static_cast<std::size_t>(r)] = comm.recv_doubles(r, tag);
+    }
+  } else {
+    comm.send_doubles(root, tag, local);
+  }
+  return blocks;
+}
+
+void broadcast(Communicator& comm, net::Rank root, std::vector<double>& data,
+               int tag) {
+  SPEC_EXPECTS(root >= 0 && root < comm.size());
+  if (comm.rank() == root) {
+    for (int r = 0; r < comm.size(); ++r)
+      if (r != root) comm.send_doubles(r, tag, data);
+  } else {
+    data = comm.recv_doubles(root, tag);
+  }
+}
+
+namespace {
+
+template <typename Fold>
+double allreduce(Communicator& comm, double value, int tag, Fold&& fold) {
+  // Fan-in to rank 0, fold, fan-out — the simple linear scheme the paper's
+  // PVM codes used.  Two tags keep the phases apart.
+  constexpr net::Rank kRoot = 0;
+  const std::vector<double> mine{value};
+  const auto blocks = gather(comm, kRoot, mine, tag);
+  std::vector<double> result{value};
+  if (comm.rank() == kRoot) {
+    double acc = blocks[0][0];
+    for (int r = 1; r < comm.size(); ++r)
+      acc = fold(acc, blocks[static_cast<std::size_t>(r)][0]);
+    result[0] = acc;
+  }
+  broadcast(comm, kRoot, result, tag + 1);
+  return result[0];
+}
+
+}  // namespace
+
+double allreduce_sum(Communicator& comm, double value, int tag) {
+  return allreduce(comm, value, tag, [](double a, double b) { return a + b; });
+}
+
+double allreduce_max(Communicator& comm, double value, int tag) {
+  return allreduce(comm, value, tag,
+                   [](double a, double b) { return std::max(a, b); });
+}
+
+}  // namespace specomp::runtime

@@ -1,0 +1,30 @@
+// Collective operations built from point-to-point messages.
+//
+// PVM programs of the paper's era composed collectives from sends and
+// receives; these helpers do the same over the Communicator API, so they
+// run unchanged on the simulated and the real-thread backend and their
+// traffic is charged through the same channel models.  All ranks must call
+// the same collective with the same root and tag.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "runtime/communicator.hpp"
+
+namespace specomp::runtime {
+
+/// Gathers each rank's block at `root` (result indexed by rank; only the
+/// root's return value is populated — other ranks get an empty vector).
+std::vector<std::vector<double>> gather(Communicator& comm, net::Rank root,
+                                        std::span<const double> local, int tag);
+
+/// Broadcasts `data` from `root` to every rank (in place on non-roots).
+void broadcast(Communicator& comm, net::Rank root, std::vector<double>& data,
+               int tag);
+
+/// Sum / max of one double across all ranks; every rank gets the result.
+double allreduce_sum(Communicator& comm, double value, int tag);
+double allreduce_max(Communicator& comm, double value, int tag);
+
+}  // namespace specomp::runtime

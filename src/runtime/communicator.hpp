@@ -1,0 +1,87 @@
+// The message-passing programming interface (PVM-analogue).
+//
+// Application code — the Fig. 7 N-body algorithm, the speculative engine,
+// the Jacobi/heat examples — is written once against this interface and runs
+// unchanged on either backend:
+//
+//   * SimCommunicator  — deterministic discrete-event simulation; time is
+//     virtual and heterogeneous processor speeds / network contention are
+//     modelled (see sim_comm.hpp).  This is the measurement backend.
+//   * ThreadCommunicator — real std::thread ranks exchanging messages
+//     through in-process channels with injectable delays (thread_comm.hpp).
+//     This is the functional backend used to cross-check correctness.
+//
+// Semantics follow the paper's PVM usage: sends are asynchronous and never
+// block; receives match on (source, tag) and block until delivery; channels
+// are reliable.  `compute(ops)` charges `ops` of application work to this
+// rank's processor — on the simulated backend time advances by ops / M_i.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/serialization.hpp"
+#include "runtime/phase_timer.hpp"
+
+namespace specomp::runtime {
+
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  virtual net::Rank rank() const = 0;
+  virtual int size() const = 0;
+  /// This rank's processor capacity M_i (operations per second).
+  virtual double ops_per_sec() const = 0;
+
+  /// Asynchronous send; never blocks on the network (send-side software
+  /// overhead is charged to this rank's processor).
+  virtual void send(net::Rank dst, int tag, std::vector<std::byte> payload) = 0;
+  /// Non-blocking receive: if a message from `src` with `tag` has been
+  /// delivered, moves it into `out` and returns true.
+  virtual bool try_recv(net::Rank src, int tag, net::Message& out) = 0;
+  /// Blocking receive from a specific source.  Waiting time is recorded
+  /// under Phase::Communicate.
+  virtual net::Message recv(net::Rank src, int tag) = 0;
+  /// Blocking receive from any source (Fig. 7 processes messages in
+  /// arrival order).
+  virtual net::Message recv_any(int tag) = 0;
+  /// Synchronises all ranks.
+  virtual void barrier() = 0;
+
+  /// Charges `ops` operations of work to this processor under `phase`.
+  virtual void compute(double ops, Phase phase = Phase::Compute) = 0;
+  /// Local elapsed time in seconds (virtual on the simulated backend).
+  virtual double time_seconds() const = 0;
+  /// Marks subsequent Compute charges as based on speculated inputs — only
+  /// affects trace rendering (Fig. 2 distinguishes them with '*').
+  virtual void mark_speculative(bool on) { (void)on; }
+
+  PhaseTimer& timer() noexcept { return timer_; }
+  const PhaseTimer& timer() const noexcept { return timer_; }
+
+  // ---- Convenience helpers ----
+
+  void send_doubles(net::Rank dst, int tag, std::span<const double> values) {
+    net::ByteWriter writer;
+    writer.write_span(values);
+    send(dst, tag, std::move(writer).take());
+  }
+
+  std::vector<double> recv_doubles(net::Rank src, int tag) {
+    const net::Message msg = recv(src, tag);
+    net::ByteReader reader(msg.payload);
+    return reader.read_vector<double>();
+  }
+
+ protected:
+  PhaseTimer timer_;
+};
+
+/// An SPMD program body: invoked once per rank with that rank's endpoint.
+using RankBody = std::function<void(Communicator&)>;
+
+}  // namespace specomp::runtime

@@ -1,0 +1,53 @@
+#include "runtime/phase_timer.hpp"
+
+#include "support/contracts.hpp"
+
+namespace specomp::runtime {
+
+const char* phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::Compute: return "compute";
+    case Phase::Communicate: return "communicate";
+    case Phase::Speculate: return "speculate";
+    case Phase::Check: return "check";
+    case Phase::Correct: return "correct";
+    case Phase::Send: return "send";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+void PhaseTimer::add(Phase phase, des::SimTime dt) {
+  SPEC_EXPECTS(phase != Phase::kCount);
+  SPEC_EXPECTS(dt >= des::SimTime::zero());
+  spent_[static_cast<std::size_t>(phase)] += dt;
+}
+
+des::SimTime PhaseTimer::get(Phase phase) const {
+  SPEC_EXPECTS(phase != Phase::kCount);
+  return spent_[static_cast<std::size_t>(phase)];
+}
+
+des::SimTime PhaseTimer::total() const noexcept {
+  des::SimTime sum = des::SimTime::zero();
+  for (const auto& t : spent_) sum += t;
+  return sum;
+}
+
+void PhaseTimer::merge(const PhaseTimer& other) noexcept {
+  for (std::size_t i = 0; i < spent_.size(); ++i) spent_[i] += other.spent_[i];
+  iterations_ += other.iterations_;
+}
+
+void PhaseTimer::reset() noexcept {
+  spent_.fill(des::SimTime::zero());
+  iterations_ = 0;
+}
+
+double PhaseTimer::per_iteration_seconds(Phase phase) const noexcept {
+  if (iterations_ == 0) return 0.0;
+  return spent_[static_cast<std::size_t>(phase)].to_seconds() /
+         static_cast<double>(iterations_);
+}
+
+}  // namespace specomp::runtime

@@ -1,0 +1,49 @@
+// Per-phase time accounting.
+//
+// Reproduces the measurement the paper reports in Table 2: for each rank,
+// time per iteration is split into computation, communication (waiting),
+// speculation, error checking and correction.  In the simulated backend the
+// quantities are exact virtual times; in the thread backend they are
+// wall-clock durations.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "des/time.hpp"
+
+namespace specomp::runtime {
+
+enum class Phase : std::size_t {
+  Compute = 0,
+  Communicate,  // blocked waiting for messages
+  Speculate,
+  Check,
+  Correct,  // recomputation due to failed speculation
+  Send,     // send-side software overhead
+  kCount,
+};
+
+const char* phase_name(Phase phase) noexcept;
+
+class PhaseTimer {
+ public:
+  void add(Phase phase, des::SimTime dt);
+  des::SimTime get(Phase phase) const;
+  des::SimTime total() const noexcept;
+  void merge(const PhaseTimer& other) noexcept;
+  void reset() noexcept;
+
+  /// Number of completed iterations recorded (for per-iteration averages).
+  void bump_iterations() noexcept { ++iterations_; }
+  std::size_t iterations() const noexcept { return iterations_; }
+  /// Mean seconds per iteration spent in `phase` (0 if no iterations).
+  double per_iteration_seconds(Phase phase) const noexcept;
+
+ private:
+  std::array<des::SimTime, static_cast<std::size_t>(Phase::kCount)> spent_{};
+  std::size_t iterations_ = 0;
+};
+
+}  // namespace specomp::runtime

@@ -1,0 +1,220 @@
+#include "runtime/sim_comm.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "support/contracts.hpp"
+
+namespace specomp::runtime {
+
+namespace detail {
+
+/// Shared state of one simulated SPMD run: the kernel, the channel, one
+/// communicator per rank, and the barrier bookkeeping.
+class SimWorld {
+ public:
+  SimWorld(const SimConfig& config)
+      : config_(config), num_ranks_(static_cast<int>(config.cluster.size())) {
+    SPEC_EXPECTS(num_ranks_ > 0);
+    if (config_.shared_medium) {
+      channel_ = std::make_unique<net::SharedMediumChannel>(config_.channel);
+    } else {
+      channel_ =
+          std::make_unique<net::PointToPointNetwork>(config_.channel, num_ranks_);
+    }
+    comms_.reserve(static_cast<std::size_t>(num_ranks_));
+    for (int r = 0; r < num_ranks_; ++r)
+      comms_.push_back(std::make_unique<SimCommunicator>(*this, r));
+    finish_times_.resize(static_cast<std::size_t>(num_ranks_),
+                         des::SimTime::zero());
+  }
+
+  SimResult run(const RankBody& body) {
+    for (int r = 0; r < num_ranks_; ++r) {
+      SimCommunicator* comm = comms_[static_cast<std::size_t>(r)].get();
+      comm->process_ = kernel_.spawn(
+          "rank" + std::to_string(r),
+          [this, comm, &body](des::Process& proc) {
+            body(*comm);
+            finish_times_[static_cast<std::size_t>(comm->rank_)] = proc.now();
+          });
+    }
+    SimResult result;
+    result.kernel_stats = kernel_.run();
+    for (const auto t : finish_times_)
+      result.makespan_seconds =
+          std::max(result.makespan_seconds, t.to_seconds());
+    result.timers.reserve(comms_.size());
+    for (const auto& comm : comms_) result.timers.push_back(comm->timer());
+    result.channel_stats = channel_->stats();
+    result.trace = std::move(trace_);
+    return result;
+  }
+
+  const SimConfig& config() const noexcept { return config_; }
+  int num_ranks() const noexcept { return num_ranks_; }
+  des::Kernel& kernel() noexcept { return kernel_; }
+  net::Channel& channel() noexcept { return *channel_; }
+  des::Trace* trace() noexcept { return config_.record_trace ? &trace_ : nullptr; }
+  SimCommunicator& comm(net::Rank rank) {
+    SPEC_EXPECTS(rank >= 0 && rank < num_ranks_);
+    return *comms_[static_cast<std::size_t>(rank)];
+  }
+
+  // ---- Barrier (kernel-level; zero-cost synchronisation primitive) ----
+
+  void barrier_arrive(SimCommunicator& comm) {
+    const std::uint64_t my_generation = barrier_generation_;
+    if (++barrier_count_ == num_ranks_) {
+      barrier_count_ = 0;
+      ++barrier_generation_;
+      for (auto& other : comms_)
+        if (other.get() != &comm) other->process_->wake();
+      return;
+    }
+    while (barrier_generation_ == my_generation) comm.process_->suspend();
+  }
+
+ private:
+  SimConfig config_;
+  int num_ranks_;
+  des::Kernel kernel_;
+  std::unique_ptr<net::Channel> channel_;
+  std::vector<std::unique_ptr<SimCommunicator>> comms_;
+  std::vector<des::SimTime> finish_times_;
+  des::Trace trace_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+SimCommunicator::SimCommunicator(SimWorld& world, net::Rank rank)
+    : world_(world), rank_(rank) {}
+
+int SimCommunicator::size() const { return world_.num_ranks(); }
+
+double SimCommunicator::ops_per_sec() const {
+  return world_.config().cluster.machine(static_cast<std::size_t>(rank_)).ops_per_sec;
+}
+
+des::SpanKind SimCommunicator::span_kind_for(Phase phase) const {
+  switch (phase) {
+    case Phase::Compute:
+      return speculative_ ? des::SpanKind::SpeculativeCompute
+                          : des::SpanKind::Compute;
+    case Phase::Communicate: return des::SpanKind::Wait;
+    case Phase::Speculate: return des::SpanKind::Speculate;
+    case Phase::Check: return des::SpanKind::Check;
+    case Phase::Correct: return des::SpanKind::Correct;
+    case Phase::Send: return des::SpanKind::Send;
+    case Phase::kCount: break;
+  }
+  return des::SpanKind::Other;
+}
+
+void SimCommunicator::advance_traced(des::SimTime dt, Phase phase) {
+  const des::SimTime begin = process_->now();
+  process_->advance(dt);
+  timer_.add(phase, dt);
+  if (des::Trace* trace = world_.trace()) {
+    trace->add_span(static_cast<std::uint64_t>(rank_), span_kind_for(phase),
+                    begin, process_->now());
+  }
+}
+
+void SimCommunicator::send(net::Rank dst, int tag,
+                           std::vector<std::byte> payload) {
+  SPEC_EXPECTS(dst >= 0 && dst < world_.num_ranks());
+  SPEC_EXPECTS(dst != rank_);
+  // Send-side software overhead (PVM pack + syscall) occupies this CPU.
+  advance_traced(world_.config().send_sw_time, Phase::Send);
+
+  net::Message msg;
+  msg.src = rank_;
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.seq = next_seq_++;
+  msg.sent_at = process_->now();
+  msg.payload = std::move(payload);
+
+  const des::SimTime delivered = world_.channel().post(msg, process_->now());
+  msg.delivered_at = delivered;
+
+  SimWorld* world = &world_;
+  world_.kernel().schedule_at(
+      delivered, [world, msg = std::move(msg)]() mutable {
+        SimCommunicator& receiver = world->comm(msg.dst);
+        receiver.mailbox_.push_back(std::move(msg));
+        receiver.process_->wake();
+      });
+}
+
+bool SimCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
+  // Mailbox order is delivery order; among matches take the lowest sequence
+  // number so iteration streams are consumed in send order even if jitter
+  // reordered deliveries.
+  auto best = mailbox_.end();
+  for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
+    if (it->src == src && it->tag == tag &&
+        (best == mailbox_.end() || it->seq < best->seq)) {
+      best = it;
+    }
+  }
+  if (best == mailbox_.end()) return false;
+  out = std::move(*best);
+  mailbox_.erase(best);
+  return true;
+}
+
+template <typename Pred>
+net::Message SimCommunicator::recv_matching(Pred&& matches) {
+  const des::SimTime begin = process_->now();
+  for (;;) {
+    auto best = mailbox_.end();
+    for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
+      if (matches(*it) && (best == mailbox_.end() || it->seq < best->seq)) best = it;
+    }
+    if (best != mailbox_.end()) {
+      net::Message msg = std::move(*best);
+      mailbox_.erase(best);
+      const des::SimTime waited = process_->now() - begin;
+      timer_.add(Phase::Communicate, waited);
+      if (des::Trace* trace = world_.trace();
+          trace != nullptr && waited > des::SimTime::zero()) {
+        trace->add_span(static_cast<std::uint64_t>(rank_), des::SpanKind::Wait,
+                        begin, process_->now());
+      }
+      return msg;
+    }
+    process_->suspend();
+  }
+}
+
+net::Message SimCommunicator::recv(net::Rank src, int tag) {
+  return recv_matching(
+      [src, tag](const net::Message& m) { return m.src == src && m.tag == tag; });
+}
+
+net::Message SimCommunicator::recv_any(int tag) {
+  return recv_matching([tag](const net::Message& m) { return m.tag == tag; });
+}
+
+void SimCommunicator::barrier() { world_.barrier_arrive(*this); }
+
+void SimCommunicator::compute(double ops, Phase phase) {
+  SPEC_EXPECTS(ops >= 0.0);
+  advance_traced(des::SimTime::seconds(ops / ops_per_sec()), phase);
+}
+
+double SimCommunicator::time_seconds() const {
+  return process_->now().to_seconds();
+}
+
+}  // namespace detail
+
+SimResult run_simulated(const SimConfig& config, const RankBody& body) {
+  detail::SimWorld world(config);
+  return world.run(body);
+}
+
+}  // namespace specomp::runtime

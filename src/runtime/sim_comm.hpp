@@ -1,0 +1,90 @@
+// Simulated communicator and run harness.
+//
+// Substitutes for the paper's physical testbed (heterogeneous SUN/Sparc
+// workstations on shared ethernet under PVM): each rank becomes a
+// des::Process; computation charges virtual time at the rank's M_i; sends
+// traverse a net::Channel whose contention and jitter determine delivery
+// times.  Numerics execute for real, so speculation error rates are genuine
+// — only *time* is simulated.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "des/kernel.hpp"
+#include "des/process.hpp"
+#include "des/trace.hpp"
+#include "net/channel.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/communicator.hpp"
+
+namespace specomp::runtime {
+
+struct SimConfig {
+  Cluster cluster;  // one rank per machine, fastest first
+  net::ChannelConfig channel;
+  /// true: all ranks share one ethernet-like medium (the paper's testbed);
+  /// false: independent point-to-point links (idealised switch baseline).
+  bool shared_medium = true;
+  /// Send-side software overhead per message (PVM pack + syscall), charged
+  /// to the sending processor.
+  des::SimTime send_sw_time = des::SimTime::millis(1);
+  /// Record a Gantt trace of all rank activity (costs memory; used by the
+  /// timeline example).
+  bool record_trace = false;
+};
+
+struct SimResult {
+  /// Latest local finish time over all ranks — the run's makespan.
+  double makespan_seconds = 0.0;
+  /// Per-rank phase accounting (index = rank).
+  std::vector<PhaseTimer> timers;
+  net::ChannelStats channel_stats;
+  des::KernelStats kernel_stats;
+  des::Trace trace;
+};
+
+/// Runs `body` as an SPMD program, one simulated rank per cluster machine.
+/// Deterministic: identical config and body ⇒ identical result.
+SimResult run_simulated(const SimConfig& config, const RankBody& body);
+
+namespace detail {
+
+class SimWorld;
+
+class SimCommunicator final : public Communicator {
+ public:
+  SimCommunicator(SimWorld& world, net::Rank rank);
+
+  net::Rank rank() const override { return rank_; }
+  int size() const override;
+  double ops_per_sec() const override;
+  void send(net::Rank dst, int tag, std::vector<std::byte> payload) override;
+  bool try_recv(net::Rank src, int tag, net::Message& out) override;
+  net::Message recv(net::Rank src, int tag) override;
+  net::Message recv_any(int tag) override;
+  void barrier() override;
+  void compute(double ops, Phase phase = Phase::Compute) override;
+  double time_seconds() const override;
+  void mark_speculative(bool on) override { speculative_ = on; }
+
+ private:
+  friend class SimWorld;
+
+  void advance_traced(des::SimTime dt, Phase phase);
+  des::SpanKind span_kind_for(Phase phase) const;
+  template <typename Pred>
+  net::Message recv_matching(Pred&& matches);
+
+  SimWorld& world_;
+  net::Rank rank_;
+  des::Process* process_ = nullptr;  // bound by the harness before start
+  std::vector<net::Message> mailbox_;
+  std::uint64_t next_seq_ = 0;
+  bool speculative_ = false;
+};
+
+}  // namespace detail
+
+}  // namespace specomp::runtime

@@ -1,0 +1,255 @@
+#include "runtime/thread_comm.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <thread>
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace specomp::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+des::SimTime elapsed_since(Clock::time_point start) {
+  return des::SimTime::seconds(
+      std::chrono::duration<double>(Clock::now() - start).count());
+}
+
+struct TimedMessage {
+  net::Message msg;
+  Clock::time_point deliver_at;
+};
+
+/// Thread-safe mailbox with delayed visibility: a message becomes receivable
+/// only once its delivery time has passed.
+class Mailbox {
+ public:
+  void deliver(TimedMessage msg) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_all();
+  }
+
+  template <typename Pred>
+  std::optional<net::Message> try_take(Pred&& matches) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return take_locked(matches, Clock::now());
+  }
+
+  template <typename Pred>
+  net::Message take_blocking(Pred&& matches) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      const auto now = Clock::now();
+      if (auto msg = take_locked(matches, now)) return std::move(*msg);
+      // Wake when new mail arrives or when the earliest matching-but-not-
+      // yet-deliverable message matures.
+      auto next_ready = Clock::time_point::max();
+      for (const auto& tm : queue_)
+        if (matches(tm.msg)) next_ready = std::min(next_ready, tm.deliver_at);
+      if (next_ready == Clock::time_point::max()) {
+        cv_.wait(lock);
+      } else {
+        cv_.wait_until(lock, next_ready);
+      }
+    }
+  }
+
+ private:
+  template <typename Pred>
+  std::optional<net::Message> take_locked(Pred&& matches, Clock::time_point now) {
+    auto best = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->deliver_at <= now && matches(it->msg) &&
+          (best == queue_.end() || it->msg.seq < best->msg.seq)) {
+        best = it;
+      }
+    }
+    if (best == queue_.end()) return std::nullopt;
+    net::Message msg = std::move(best->msg);
+    queue_.erase(best);
+    return msg;
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<TimedMessage> queue_;
+};
+
+class ThreadWorld;
+
+class ThreadCommunicator final : public Communicator {
+ public:
+  ThreadCommunicator(ThreadWorld& world, net::Rank rank)
+      : world_(world), rank_(rank) {}
+
+  net::Rank rank() const override { return rank_; }
+  int size() const override;
+  double ops_per_sec() const override;
+  void send(net::Rank dst, int tag, std::vector<std::byte> payload) override;
+  bool try_recv(net::Rank src, int tag, net::Message& out) override;
+  net::Message recv(net::Rank src, int tag) override;
+  net::Message recv_any(int tag) override;
+  void barrier() override;
+  void compute(double ops, Phase phase) override;
+  double time_seconds() const override;
+
+ private:
+  friend class ThreadWorld;
+  ThreadWorld& world_;
+  net::Rank rank_;
+  std::uint64_t next_seq_ = 0;
+};
+
+class ThreadWorld {
+ public:
+  explicit ThreadWorld(const ThreadConfig& config)
+      : config_(config),
+        num_ranks_(static_cast<int>(config.cluster.size())),
+        mailboxes_(config.cluster.size()),
+        rng_(config.seed),
+        start_(Clock::now()) {
+    SPEC_EXPECTS(num_ranks_ > 0);
+  }
+
+  const ThreadConfig& config() const noexcept { return config_; }
+  int num_ranks() const noexcept { return num_ranks_; }
+  Clock::time_point start() const noexcept { return start_; }
+  Mailbox& mailbox(net::Rank rank) {
+    SPEC_EXPECTS(rank >= 0 && rank < num_ranks_);
+    return mailboxes_[static_cast<std::size_t>(rank)];
+  }
+
+  Clock::duration sample_latency() {
+    const std::lock_guard<std::mutex> lock(rng_mutex_);
+    const double seconds =
+        config_.latency_seconds +
+        (config_.latency_jitter_seconds > 0.0
+             ? rng_.uniform(0.0, config_.latency_jitter_seconds)
+             : 0.0);
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds));
+  }
+
+  void barrier_arrive() {
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    const std::uint64_t my_generation = barrier_generation_;
+    if (++barrier_count_ == num_ranks_) {
+      barrier_count_ = 0;
+      ++barrier_generation_;
+      barrier_cv_.notify_all();
+      return;
+    }
+    barrier_cv_.wait(lock,
+                     [&] { return barrier_generation_ != my_generation; });
+  }
+
+ private:
+  ThreadConfig config_;
+  int num_ranks_;
+  std::vector<Mailbox> mailboxes_;
+  std::mutex rng_mutex_;
+  support::Xoshiro256 rng_;
+  Clock::time_point start_;
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+int ThreadCommunicator::size() const { return world_.num_ranks(); }
+
+double ThreadCommunicator::ops_per_sec() const {
+  return world_.config().cluster.machine(static_cast<std::size_t>(rank_)).ops_per_sec;
+}
+
+void ThreadCommunicator::send(net::Rank dst, int tag,
+                              std::vector<std::byte> payload) {
+  SPEC_EXPECTS(dst >= 0 && dst < world_.num_ranks());
+  SPEC_EXPECTS(dst != rank_);
+  net::Message msg;
+  msg.src = rank_;
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.seq = next_seq_++;
+  msg.payload = std::move(payload);
+  world_.mailbox(dst).deliver(
+      TimedMessage{std::move(msg), Clock::now() + world_.sample_latency()});
+}
+
+bool ThreadCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
+  auto msg = world_.mailbox(rank_).try_take(
+      [src, tag](const net::Message& m) { return m.src == src && m.tag == tag; });
+  if (!msg) return false;
+  out = std::move(*msg);
+  return true;
+}
+
+net::Message ThreadCommunicator::recv(net::Rank src, int tag) {
+  const auto begin = Clock::now();
+  net::Message msg = world_.mailbox(rank_).take_blocking(
+      [src, tag](const net::Message& m) { return m.src == src && m.tag == tag; });
+  timer_.add(Phase::Communicate, elapsed_since(begin));
+  return msg;
+}
+
+net::Message ThreadCommunicator::recv_any(int tag) {
+  const auto begin = Clock::now();
+  net::Message msg = world_.mailbox(rank_).take_blocking(
+      [tag](const net::Message& m) { return m.tag == tag; });
+  timer_.add(Phase::Communicate, elapsed_since(begin));
+  return msg;
+}
+
+void ThreadCommunicator::barrier() { world_.barrier_arrive(); }
+
+void ThreadCommunicator::compute(double ops, Phase phase) {
+  SPEC_EXPECTS(ops >= 0.0);
+  const auto begin = Clock::now();
+  if (world_.config().time_scale > 0.0) {
+    const double seconds = ops / ops_per_sec() * world_.config().time_scale;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+  timer_.add(phase, elapsed_since(begin));
+}
+
+double ThreadCommunicator::time_seconds() const {
+  return elapsed_since(world_.start()).to_seconds();
+}
+
+}  // namespace
+
+ThreadResult run_threaded(const ThreadConfig& config, const RankBody& body) {
+  ThreadWorld world(config);
+  const int p = world.num_ranks();
+
+  std::vector<std::unique_ptr<ThreadCommunicator>> comms;
+  comms.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r)
+    comms.push_back(std::make_unique<ThreadCommunicator>(world, r));
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  std::vector<double> finish(static_cast<std::size_t>(p), 0.0);
+  for (int r = 0; r < p; ++r) {
+    ThreadCommunicator* comm = comms[static_cast<std::size_t>(r)].get();
+    threads.emplace_back([comm, &body, &finish, r] {
+      body(*comm);
+      finish[static_cast<std::size_t>(r)] = comm->time_seconds();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ThreadResult result;
+  result.makespan_seconds = *std::max_element(finish.begin(), finish.end());
+  result.timers.reserve(comms.size());
+  for (const auto& comm : comms) result.timers.push_back(comm->timer());
+  return result;
+}
+
+}  // namespace specomp::runtime

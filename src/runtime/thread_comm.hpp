@@ -1,0 +1,46 @@
+// Real-thread communicator.
+//
+// Functional backend: each rank is an OS thread; messages travel through
+// in-process mailboxes with optional injected delivery delays.  Used to
+// cross-check that application code and the speculation engine behave
+// identically under genuine concurrency (arbitrary interleavings) as under
+// the deterministic simulator.  Timing figures from this backend are
+// wall-clock and hardware-dependent; the simulated backend is the
+// measurement instrument.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "net/message.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/communicator.hpp"
+
+namespace specomp::runtime {
+
+struct ThreadConfig {
+  Cluster cluster;
+  /// Real sleep per modelled second of compute: compute(ops) sleeps
+  /// ops / M_i * time_scale seconds.  0 disables sleeping (fast tests).
+  double time_scale = 0.0;
+  /// Constant message delivery delay, seconds of wall time.
+  double latency_seconds = 0.0;
+  /// Extra uniform jitter in [0, latency_jitter_seconds).
+  double latency_jitter_seconds = 0.0;
+  std::uint64_t seed = 0x7ead5;
+};
+
+struct ThreadResult {
+  double makespan_seconds = 0.0;
+  std::vector<PhaseTimer> timers;
+};
+
+/// Runs `body` on one real thread per cluster machine and joins them all.
+ThreadResult run_threaded(const ThreadConfig& config, const RankBody& body);
+
+}  // namespace specomp::runtime

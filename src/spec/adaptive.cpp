@@ -1,0 +1,64 @@
+#include "spec/adaptive.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace specomp::spec {
+
+int AdaptiveWindowPolicy::next_window(const WindowFeedback& feedback) {
+  SPEC_EXPECTS(feedback.current_window >= 0);
+
+  const double failure_fraction =
+      feedback.speculated == 0
+          ? 0.0
+          : static_cast<double>(feedback.failures) /
+                static_cast<double>(feedback.speculated);
+  const double wait_ratio =
+      feedback.wait_seconds / std::max(feedback.compute_seconds, 1e-12);
+
+  const double a = config_.smoothing;
+  wait_avg_ = (1.0 - a) * wait_avg_ + a * wait_ratio;
+  fail_avg_ = (1.0 - a) * fail_avg_ + a * failure_fraction;
+
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return feedback.current_window;
+  }
+
+  // Failures dominate: speculating deeper while guesses are bad only adds
+  // recomputation.
+  if (fail_avg_ > config_.shrink_failure_fraction) {
+    fail_avg_ = 0.0;
+    cooldown_left_ = config_.cooldown;
+    ++shrinks_;
+    return std::max(feedback.current_window - 1, 0);
+  }
+  if (wait_avg_ > config_.grow_wait_ratio) {
+    wait_avg_ = 0.0;
+    cooldown_left_ = config_.cooldown;
+    ++grows_;
+    return feedback.current_window + 1;
+  }
+  return feedback.current_window;
+}
+
+int HillClimbWindowPolicy::next_window(const WindowFeedback& feedback) {
+  SPEC_EXPECTS(feedback.current_window >= 0);
+  epoch_time_ += feedback.wait_seconds + feedback.compute_seconds;
+  if (++epoch_count_ < config_.epoch_iterations)
+    return feedback.current_window;
+
+  const double mean = epoch_time_ / static_cast<double>(epoch_count_);
+  epoch_time_ = 0.0;
+  epoch_count_ = 0;
+
+  if (previous_epoch_mean_ >= 0.0 &&
+      mean > previous_epoch_mean_ * (1.0 - config_.tolerance)) {
+    direction_ = -direction_;  // last move didn't pay: walk back
+  }
+  previous_epoch_mean_ = mean;
+  return std::max(feedback.current_window + direction_, 0);
+}
+
+}  // namespace specomp::spec

@@ -1,0 +1,123 @@
+// Adaptive forward-window control.
+//
+// The paper tunes FW by hand "based on an estimate of the communication and
+// computation times and the accuracy of the speculation function" and lists
+// automatic selection among its future work.  This policy closes the loop
+// at run time from the two signals the engine observes every iteration:
+//
+//   * blocked communication time — waits mean the current window is too
+//     shallow to cover the prevailing message delay, so the window grows;
+//   * speculation failures — rejected guesses mean speculating deeper is
+//     buying recomputation, so the window shrinks.
+//
+// Both signals are smoothed with an exponentially-weighted moving average —
+// blocking naturally *alternates* iterations once the window partially
+// covers the latency (one await drains several outstanding verifications),
+// so a consecutive-iteration heuristic would stall — and each adjustment is
+// followed by a cooldown so the controller observes the new window's
+// behaviour before moving again.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace specomp::spec {
+
+/// Per-iteration observations handed to a window policy.
+struct WindowFeedback {
+  long iteration = 0;
+  int current_window = 0;
+  /// Time this rank spent blocked in receives during the iteration.
+  double wait_seconds = 0.0;
+  /// Time spent computing during the iteration (including replays).
+  double compute_seconds = 0.0;
+  /// Speculations issued / checks that failed during the iteration.
+  std::uint64_t speculated = 0;
+  std::uint64_t failures = 0;
+};
+
+class WindowPolicy {
+ public:
+  virtual ~WindowPolicy() = default;
+  /// Window for the first iteration.
+  virtual int initial_window() const = 0;
+  /// Window for the next iteration, given this iteration's observations.
+  /// The engine clamps the result to [0, EngineConfig::max_forward_window].
+  virtual int next_window(const WindowFeedback& feedback) = 0;
+};
+
+struct AdaptiveWindowConfig {
+  int initial_window = 1;
+  /// Grow when the smoothed blocked-time fraction of compute exceeds this.
+  double grow_wait_ratio = 0.05;
+  /// Shrink when the smoothed failure fraction exceeds this.
+  double shrink_failure_fraction = 0.25;
+  /// EWMA weight of the newest observation, in (0, 1].
+  double smoothing = 0.5;
+  /// Iterations to sit still after an adjustment before acting again.
+  int cooldown = 2;
+};
+
+class AdaptiveWindowPolicy final : public WindowPolicy {
+ public:
+  explicit AdaptiveWindowPolicy(AdaptiveWindowConfig config = {})
+      : config_(config) {}
+
+  int initial_window() const override { return config_.initial_window; }
+  int next_window(const WindowFeedback& feedback) override;
+
+  std::uint64_t grow_events() const noexcept { return grows_; }
+  std::uint64_t shrink_events() const noexcept { return shrinks_; }
+
+ private:
+  AdaptiveWindowConfig config_;
+  double wait_avg_ = 0.0;
+  double fail_avg_ = 0.0;
+  int cooldown_left_ = 0;
+  std::uint64_t grows_ = 0;
+  std::uint64_t shrinks_ = 0;
+};
+
+/// Hill-climbing controller: instead of interpreting wait/failure signals,
+/// it optimises the end metric directly — the per-iteration elapsed time
+/// (wait + compute, which includes replay cost).  Every `epoch` iterations
+/// it compares the epoch's mean against the previous one and keeps walking
+/// the window in the improving direction, reversing otherwise.  Converges
+/// to (and dithers ±1 around) the best window even when waits and
+/// corrections trade off nontrivially.
+struct HillClimbConfig {
+  int initial_window = 1;
+  int epoch_iterations = 3;
+  /// Relative improvement required to call a move "better".
+  double tolerance = 0.02;
+};
+
+class HillClimbWindowPolicy final : public WindowPolicy {
+ public:
+  explicit HillClimbWindowPolicy(HillClimbConfig config = {})
+      : config_(config) {}
+
+  int initial_window() const override { return config_.initial_window; }
+  int next_window(const WindowFeedback& feedback) override;
+
+ private:
+  HillClimbConfig config_;
+  double epoch_time_ = 0.0;
+  int epoch_count_ = 0;
+  double previous_epoch_mean_ = -1.0;
+  int direction_ = +1;
+};
+
+/// Convenience: a policy pinning the window to a constant (for comparison
+/// harnesses that treat fixed FW as a degenerate policy).
+class FixedWindowPolicy final : public WindowPolicy {
+ public:
+  explicit FixedWindowPolicy(int window) : window_(window) {}
+  int initial_window() const override { return window_; }
+  int next_window(const WindowFeedback&) override { return window_; }
+
+ private:
+  int window_;
+};
+
+}  // namespace specomp::spec

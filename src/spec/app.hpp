@@ -1,0 +1,70 @@
+// Application interface for the speculation engine.
+//
+// The engine (engine.hpp) owns everything generic about the paper's Figure 3
+// algorithm — history, speculation, message exchange, error checking, the
+// forward-window pipeline and rollback — while the application supplies the
+// problem-specific pieces of eq. 2:
+//
+//   * packing/unpacking of its variable block X_j,
+//   * the iteration function f_i (compute_step),
+//   * the acceptance metric for a speculation (the paper's eq. 11 depends on
+//     local particle positions, so it must live with the application),
+//   * optionally a cheap incremental correction, and
+//   * state save/restore for the engine's rollback-and-replay path.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace specomp::spec {
+
+class SyncIterativeApp {
+ public:
+  virtual ~SyncIterativeApp() = default;
+
+  /// Packs this rank's current variable block X_j(t) for sending.
+  virtual std::vector<double> pack_local() const = 0;
+
+  /// Installs peer `peer`'s block (actual or speculated) as the current
+  /// iteration's view of X_peer.
+  virtual void install_peer(int peer, std::span<const double> block) = 0;
+
+  /// Advances the local variables one iteration using the installed blocks:
+  /// X_j(t+1) = f(X(t), ...).
+  virtual void compute_step() = 0;
+
+  /// f_comp * N_j: operations one compute_step costs on this rank.
+  virtual double compute_ops() const = 0;
+
+  /// Scalar speculation error for having used `speculated` instead of
+  /// `actual` for `peer` (the paper's eq. 11 ratio for N-body).  The engine
+  /// accepts the speculation when this is <= the configured threshold.
+  virtual double speculation_error(int peer, std::span<const double> speculated,
+                                   std::span<const double> actual) = 0;
+
+  /// f_check * N_peer: operations one check costs.
+  virtual double check_ops(int peer) const = 0;
+
+  /// Incremental correction: repair the *most recent* compute_step given the
+  /// actual block for `peer` (e.g. N-body subtracts the speculated pair
+  /// forces and adds the actual ones, then redoes the cheap integration).
+  /// Return false when unsupported; the engine then rolls back and replays.
+  virtual bool correct_last_step(int peer, std::span<const double> actual) {
+    (void)peer;
+    (void)actual;
+    return false;
+  }
+
+  /// Operations charged when correct_last_step succeeds.
+  virtual double correct_ops(int peer) const {
+    (void)peer;
+    return 0.0;
+  }
+
+  /// Serialises the complete local state (everything compute_step mutates)
+  /// for the engine's checkpoint ring.
+  virtual std::vector<double> save_state() const = 0;
+  virtual void restore_state(std::span<const double> state) = 0;
+};
+
+}  // namespace specomp::spec

@@ -1,0 +1,317 @@
+#include "spec/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/serialization.hpp"
+#include "support/contracts.hpp"
+
+namespace specomp::spec {
+
+using runtime::Phase;
+
+namespace {
+
+std::vector<double> decode_block(const net::Message& msg) {
+  net::ByteReader reader(msg.payload);
+  return reader.read_vector<double>();
+}
+
+}  // namespace
+
+SpecEngine::SpecEngine(runtime::Communicator& comm, SyncIterativeApp& app,
+                       EngineConfig config,
+                       std::vector<std::vector<double>> initial_blocks)
+    : comm_(comm),
+      app_(app),
+      config_(std::move(config)),
+      rank_(comm.rank()),
+      size_(comm.size()) {
+  SPEC_EXPECTS(config_.forward_window >= 0);
+  SPEC_EXPECTS(config_.max_forward_window >= 0);
+  fw_now_ = config_.window_policy != nullptr
+                ? std::clamp(config_.window_policy->initial_window(), 0,
+                             config_.max_forward_window)
+                : config_.forward_window;
+  if (fw_now_ > 0 || config_.window_policy != nullptr)
+    SPEC_EXPECTS(config_.speculator != nullptr);
+  SPEC_EXPECTS(initial_blocks.size() == static_cast<std::size_t>(size_));
+
+  const std::size_t bw =
+      config_.speculator != nullptr ? config_.speculator->backward_window() : 1;
+  histories_.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) histories_.emplace_back(std::max<std::size_t>(bw, 1));
+  outstanding_.assign(static_cast<std::size_t>(size_), 0);
+
+  for (int r = 0; r < size_; ++r) {
+    if (r == rank_) continue;
+    auto& block = initial_blocks[static_cast<std::size_t>(r)];
+    histories_[static_cast<std::size_t>(r)].record(0, block);
+    app_.install_peer(r, block);
+  }
+}
+
+SpecStats SpecEngine::run(long iterations) {
+  SPEC_EXPECTS(iterations >= 1);
+  SPEC_EXPECTS(next_compute_ == 0);  // run() is single-shot
+
+  // Iteration 0: every rank holds the full initial state, so this step is
+  // compute-only (see header comment).
+  app_.compute_step();
+  comm_.compute(app_.compute_ops(), Phase::Compute);
+  ++stats_.iterations;
+  comm_.timer().bump_iterations();
+  next_compute_ = 1;
+
+  for (long t = 1; t < iterations; ++t) {
+    // 1. Incorporate whatever has already been delivered (Fig. 3: "checks
+    //    its message queue and incorporates any messages that have arrived").
+    drain_pending();
+
+    // 2. Enforce the forward window *before* sending, so the block we send
+    //    reflects every correction from iterations <= t - FW (with FW = 1
+    //    this is exactly Fig. 3's check-before-next-send ordering).
+    for (int k = 0; k < size_; ++k) {
+      if (k == rank_) continue;
+      while (outstanding_[static_cast<std::size_t>(k)] >= std::max(fw_now_, 1)) {
+        await_oldest(k);
+      }
+    }
+
+    // 3. Send X_j(t) to all peers.
+    {
+      const std::vector<double> block = app_.pack_local();
+      for (int k = 0; k < size_; ++k)
+        if (k != rank_) comm_.send_doubles(k, tag_for(t), block);
+    }
+
+    // 4. Resolve each peer's X_k(t): real message if delivered, else
+    //    speculate (FW > 0) or block (FW = 0).
+    IterationRecord record;
+    record.t = t;
+    record.peers.resize(static_cast<std::size_t>(size_));
+    bool any_speculated = false;
+    for (int k = 0; k < size_; ++k) {
+      if (k == rank_) continue;
+      auto& slot = record.peers[static_cast<std::size_t>(k)];
+      net::Message msg;
+      if (comm_.try_recv(k, tag_for(t), msg)) {
+        slot.block = decode_block(msg);
+        // Record history only while no older speculation for this peer is
+        // outstanding: a jitter-reordered early arrival must not run the
+        // history past a record that a later replay will re-speculate.
+        if (outstanding_[static_cast<std::size_t>(k)] == 0)
+          histories_[static_cast<std::size_t>(k)].record(t, slot.block);
+        app_.install_peer(k, slot.block);
+        ++stats_.blocks_received_in_time;
+        continue;
+      }
+      if (fw_now_ == 0) {
+        slot.block = comm_.recv_doubles(k, tag_for(t));
+        histories_[static_cast<std::size_t>(k)].record(t, slot.block);
+        app_.install_peer(k, slot.block);
+        continue;
+      }
+      slot.block = speculate_block(k, t);
+      slot.speculated = true;
+      app_.install_peer(k, slot.block);
+      ++record.unresolved;
+      ++outstanding_[static_cast<std::size_t>(k)];
+      ++stats_.blocks_speculated;
+      any_speculated = true;
+    }
+
+    // 5. Compute X_j(t+1), checkpointing first whenever a rollback could
+    //    later land on (or replay through) this iteration.
+    if (record.unresolved > 0 || !window_.empty())
+      record.state_before = app_.save_state();
+    window_.push_back(std::move(record));
+    comm_.mark_speculative(any_speculated);
+    app_.compute_step();
+    comm_.compute(app_.compute_ops(), Phase::Compute);
+    comm_.mark_speculative(false);
+    next_compute_ = t + 1;
+    ++stats_.iterations;
+    comm_.timer().bump_iterations();
+
+    while (!window_.empty() && window_.front().unresolved == 0)
+      window_.pop_front();
+
+    consult_window_policy(t);
+  }
+
+  // Resolve every outstanding speculation so all ranks finish verified and
+  // no messages are left undelivered.
+  for (int k = 0; k < size_; ++k) {
+    if (k == rank_) continue;
+    while (outstanding_[static_cast<std::size_t>(k)] > 0) await_oldest(k);
+  }
+  while (!window_.empty() && window_.front().unresolved == 0)
+    window_.pop_front();
+  SPEC_ENSURES(window_.empty());
+  return stats_;
+}
+
+void SpecEngine::drain_pending() {
+  // Resolve opportunistically, but strictly oldest-first per peer: jitter
+  // can deliver iteration t+1 before t, and resolving t+1 first would run
+  // the peer's history ahead of the still-unresolved record t (breaking the
+  // steps >= 1 invariant of speculation during a later replay).  Also never
+  // resolve while iterating the window — a replay rewrites records.
+  for (;;) {
+    int found_k = -1;
+    long found_s = -1;
+    net::Message msg;
+    for (int k = 0; k < size_ && found_k < 0; ++k) {
+      if (k == rank_) continue;
+      for (const auto& rec : window_) {
+        const auto& slot = rec.peers[static_cast<std::size_t>(k)];
+        if (slot.speculated && !slot.resolved) {
+          // Oldest outstanding speculation for this peer: take it or leave
+          // this peer alone this round.
+          if (comm_.try_recv(k, tag_for(rec.t), msg)) {
+            found_k = k;
+            found_s = rec.t;
+          }
+          break;
+        }
+      }
+    }
+    if (found_k < 0) return;
+    resolve_receipt(found_k, found_s, decode_block(msg));
+  }
+}
+
+void SpecEngine::await_oldest(int k) {
+  long s = -1;
+  for (const auto& rec : window_) {
+    const auto& slot = rec.peers[static_cast<std::size_t>(k)];
+    if (slot.speculated && !slot.resolved) {
+      s = rec.t;
+      break;
+    }
+  }
+  SPEC_ASSERT(s >= 0);
+  const std::vector<double> actual = comm_.recv_doubles(k, tag_for(s));
+  resolve_receipt(k, s, actual);
+}
+
+void SpecEngine::resolve_receipt(int k, long s, std::span<const double> actual) {
+  histories_[static_cast<std::size_t>(k)].record(s, actual);
+
+  IterationRecord* rec = find_record(s);
+  SPEC_ASSERT(rec != nullptr);
+  auto& slot = rec->peers[static_cast<std::size_t>(k)];
+  SPEC_ASSERT(slot.speculated && !slot.resolved);
+
+  charge_check(k);
+  ++stats_.checks;
+  const double err = app_.speculation_error(k, slot.block, actual);
+  stats_.error.add(err);
+  const bool acceptable = err <= config_.threshold;
+
+  // From here on the record holds the real block (replays must use it).
+  slot.block.assign(actual.begin(), actual.end());
+  slot.resolved = true;
+  --rec->unresolved;
+  --outstanding_[static_cast<std::size_t>(k)];
+
+  if (!acceptable) {
+    ++stats_.failures;
+    bool corrected = false;
+    if (config_.allow_incremental_correction && s == next_compute_ - 1) {
+      corrected = app_.correct_last_step(k, actual);
+      if (corrected) {
+        comm_.compute(app_.correct_ops(k), Phase::Correct);
+        ++stats_.incremental_corrections;
+      }
+    }
+    if (!corrected) rollback_and_replay(s);
+  }
+
+  while (!window_.empty() && window_.front().unresolved == 0)
+    window_.pop_front();
+}
+
+void SpecEngine::rollback_and_replay(long s) {
+  std::size_t start = window_.size();
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    if (window_[i].t == s) {
+      start = i;
+      break;
+    }
+  }
+  SPEC_ASSERT(start < window_.size());
+  SPEC_ASSERT(!window_[start].state_before.empty());
+  app_.restore_state(window_[start].state_before);
+
+  for (std::size_t j = start; j < window_.size(); ++j) {
+    auto& rec = window_[j];
+    SPEC_ASSERT(rec.t == s + static_cast<long>(j - start));
+    rec.state_before = app_.save_state();
+    bool any_speculated = false;
+    for (int k = 0; k < size_; ++k) {
+      if (k == rank_) continue;
+      auto& slot = rec.peers[static_cast<std::size_t>(k)];
+      if (slot.speculated && !slot.resolved) {
+        // Still unverified: re-speculate with the freshest history.
+        slot.block = speculate_block(k, rec.t);
+        any_speculated = true;
+      }
+      app_.install_peer(k, slot.block);
+    }
+    comm_.mark_speculative(any_speculated);
+    app_.compute_step();
+    comm_.compute(app_.compute_ops(), Phase::Correct);
+    comm_.mark_speculative(false);
+    ++stats_.replayed_iterations;
+  }
+}
+
+SpecEngine::IterationRecord* SpecEngine::find_record(long t) {
+  for (auto& rec : window_)
+    if (rec.t == t) return &rec;
+  return nullptr;
+}
+
+std::vector<double> SpecEngine::speculate_block(int k, long t) {
+  auto& history = histories_[static_cast<std::size_t>(k)];
+  SPEC_ASSERT(!history.empty());
+  const int steps = static_cast<int>(t - history.newest_iteration());
+  SPEC_ASSERT(steps >= 1);
+  std::vector<double> block = config_.speculator->predict(history, steps);
+  comm_.compute(config_.speculator->ops_per_variable() *
+                    static_cast<double>(block.size()),
+                Phase::Speculate);
+  return block;
+}
+
+void SpecEngine::charge_check(int k) {
+  comm_.compute(app_.check_ops(k), Phase::Check);
+}
+
+void SpecEngine::consult_window_policy(long iteration) {
+  stats_.max_window_used = std::max(stats_.max_window_used, fw_now_);
+  if (config_.window_policy == nullptr) return;
+
+  const double wait =
+      comm_.timer().get(Phase::Communicate).to_seconds();
+  const double compute = comm_.timer().get(Phase::Compute).to_seconds() +
+                         comm_.timer().get(Phase::Correct).to_seconds();
+  WindowFeedback feedback;
+  feedback.iteration = iteration;
+  feedback.current_window = fw_now_;
+  feedback.wait_seconds = wait - last_wait_seconds_;
+  feedback.compute_seconds = compute - last_compute_seconds_;
+  feedback.speculated = stats_.blocks_speculated - last_speculated_;
+  feedback.failures = stats_.failures - last_failures_;
+  last_wait_seconds_ = wait;
+  last_compute_seconds_ = compute;
+  last_speculated_ = stats_.blocks_speculated;
+  last_failures_ = stats_.failures;
+
+  fw_now_ = std::clamp(config_.window_policy->next_window(feedback), 0,
+                       config_.max_forward_window);
+}
+
+}  // namespace specomp::spec

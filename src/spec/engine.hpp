@@ -1,0 +1,149 @@
+// The speculation engine — the paper's primary contribution, generalised.
+//
+// Implements the synchronous-iterative-algorithm-with-speculation loop of
+// the paper's Figure 3, extended with the forward window (FW) pipelining of
+// Section 3.2 and rollback-based recomputation:
+//
+//   iteration t:
+//     1. drain   — incorporate any already-delivered messages, checking
+//                  outstanding speculations as they resolve;
+//     2. send    — broadcast X_j(t) to all peers (tag = base + t);
+//     3. resolve — for each peer: use the real X_k(t) if delivered;
+//                  otherwise, if fewer than FW speculations are outstanding
+//                  for that peer, speculate X*_k(t) from its history;
+//                  otherwise block until the oldest outstanding speculation
+//                  resolves (check, correct/replay on failure) and retry;
+//     4. compute — X_j(t+1) = f(...) on the installed view, checkpointing
+//                  first when any input was speculated.
+//
+// FW = 0 degenerates exactly to the no-speculation algorithm of Figure 1:
+// every peer block is awaited before computing.  FW = 1 is Figure 3.
+//
+// Failed speculations (error > threshold θ) are repaired either by the
+// application's cheap incremental correction (when the failure concerns the
+// most recent step) or by restoring the checkpoint taken before the failed
+// iteration and replaying forward with the improved information — the
+// "corrected or recomputed" path of the paper.
+//
+// Consistency guarantee by window depth: with FW = 1 every input is verified
+// before the next send, so a fully-rejecting threshold (θ = 0, rollback
+// repair) reproduces the no-speculation numerics bit-for-bit.  With FW >= 2
+// a rank may send a block computed from still-unverified speculation and —
+// like the paper — never re-sends after a correction, so peers can consume
+// slightly stale values; the deviation is bounded through their own θ
+// checks (the paper's bounded-error acceptance philosophy).
+//
+// Iteration 0 is compute-only: the paper's setup distributes the full
+// initial state to every processor ("Read x_i(0) ∀i"), so the engine primes
+// each peer history with the initial blocks and message exchange starts at
+// iteration 1.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/communicator.hpp"
+#include "spec/adaptive.hpp"
+#include "spec/app.hpp"
+#include "spec/history.hpp"
+#include "spec/speculator.hpp"
+#include "spec/stats.hpp"
+
+namespace specomp::spec {
+
+struct EngineConfig {
+  /// FW: maximum outstanding (unverified) speculations per peer.
+  /// 0 disables speculation entirely (the Figure 1 baseline).
+  /// Ignored when window_policy is set.
+  int forward_window = 1;
+  /// Optional run-time window controller (paper future work — see
+  /// adaptive.hpp); when set it chooses the window each iteration and
+  /// forward_window is ignored.  A speculator is then required.
+  std::shared_ptr<WindowPolicy> window_policy;
+  /// Upper clamp for policy-chosen windows.
+  int max_forward_window = 8;
+  /// θ: maximum acceptable speculation error (paper uses 0.01 for N-body).
+  double threshold = 0.01;
+  /// Speculation function; required when forward_window > 0.  Its
+  /// backward_window() determines per-peer history depth.
+  std::shared_ptr<Speculator> speculator;
+  /// Offer the application's incremental correction before rolling back.
+  bool allow_incremental_correction = true;
+  /// Base message tag; iteration t uses tag base + t.
+  int tag_base = 1000;
+};
+
+class SpecEngine {
+ public:
+  /// `initial_blocks[k]` is peer k's X_k(0) (element `rank` unused); these
+  /// prime the histories so speculation is defined from iteration 1 on.
+  SpecEngine(runtime::Communicator& comm, SyncIterativeApp& app,
+             EngineConfig config,
+             std::vector<std::vector<double>> initial_blocks);
+
+  /// Runs `iterations` synchronous iterations and returns the outcome
+  /// statistics.  After return, all speculation has been resolved: the
+  /// engine drains every outstanding message so ranks end consistent.
+  SpecStats run(long iterations);
+
+  const SpecStats& stats() const noexcept { return stats_; }
+
+  /// The forward window in effect for the next iteration (fixed, or the
+  /// window policy's latest decision).
+  int current_window() const noexcept { return fw_now_; }
+
+ private:
+  /// Per-iteration, per-peer record of what was installed.
+  struct PeerSlot {
+    bool speculated = false;
+    bool resolved = false;
+    /// The block installed for this iteration: the speculated values while
+    /// unresolved, replaced by the actual values on receipt (replays use it).
+    std::vector<double> block;
+  };
+  struct IterationRecord {
+    long t = 0;
+    std::vector<double> state_before;     // app state before compute_step
+    std::vector<PeerSlot> peers;          // indexed by rank
+    int unresolved = 0;
+  };
+
+  int tag_for(long t) const { return config_.tag_base + static_cast<int>(t); }
+
+  void drain_pending();
+  /// Handles receipt of peer `k`'s actual block for iteration `s`: records
+  /// history, checks the speculation it answers, corrects/replays on
+  /// failure.  `t_next` is the iteration about to be computed.
+  void resolve_receipt(int k, long s, std::span<const double> actual);
+  /// Blocks until the oldest outstanding speculation for peer k resolves.
+  void await_oldest(int k);
+  /// Restores the checkpoint of iteration `s` and replays through the most
+  /// recently computed iteration.
+  void rollback_and_replay(long s);
+
+  IterationRecord* find_record(long t);
+  std::vector<double> speculate_block(int k, long t);
+  void charge_check(int k);
+  void consult_window_policy(long iteration);
+
+  runtime::Communicator& comm_;
+  SyncIterativeApp& app_;
+  EngineConfig config_;
+  int rank_;
+  int size_;
+  std::vector<History> histories_;          // indexed by rank (self unused)
+  std::vector<int> outstanding_;            // unresolved speculations per peer
+  std::deque<IterationRecord> window_;      // records with unresolved > 0 kept
+  long next_compute_ = 0;                   // iteration about to be computed
+  int fw_now_ = 0;                          // window in effect
+  // Snapshots for per-iteration window-policy feedback.
+  double last_wait_seconds_ = 0.0;
+  double last_compute_seconds_ = 0.0;
+  std::uint64_t last_failures_ = 0;
+  std::uint64_t last_speculated_ = 0;
+  SpecStats stats_;
+};
+
+}  // namespace specomp::spec

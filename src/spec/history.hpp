@@ -1,0 +1,53 @@
+// Per-peer history of actually received variable blocks.
+//
+// The backward window (BW) of the paper: speculation functions extrapolate
+// from the last BW received values of a peer's variables.  Only *actual*
+// (received) blocks enter the history — speculated values never do, so a
+// burst of speculation cannot compound into the prediction baseline.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/contracts.hpp"
+#include "support/ring_buffer.hpp"
+
+namespace specomp::spec {
+
+class History {
+ public:
+  struct Entry {
+    long iteration = -1;
+    std::vector<double> block;
+  };
+
+  explicit History(std::size_t backward_window)
+      : entries_(backward_window) {}
+
+  std::size_t capacity() const noexcept { return entries_.capacity(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  /// Newest actually-received iteration, or -1 when empty.
+  long newest_iteration() const noexcept {
+    return entries_.empty() ? -1 : entries_.back(0).iteration;
+  }
+
+  /// Records the actual block for `iteration`.  Out-of-order receipts older
+  /// than the newest entry are dropped (they cannot improve extrapolation).
+  void record(long iteration, std::span<const double> block) {
+    if (iteration <= newest_iteration()) return;
+    entries_.push(Entry{iteration, std::vector<double>(block.begin(), block.end())});
+  }
+
+  /// Entry `age` steps back from the newest (age 0 = newest).
+  const Entry& back(std::size_t age = 0) const { return entries_.back(age); }
+
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  support::RingBuffer<Entry> entries_;
+};
+
+}  // namespace specomp::spec

@@ -1,0 +1,54 @@
+// Speculation outcome statistics.
+//
+// k in the paper's model is the percentage of computations redone because a
+// speculation missed its error bound; these counters measure it directly,
+// along with the error distribution that drives the paper's Table 3.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/stats.hpp"
+
+namespace specomp::spec {
+
+struct SpecStats {
+  std::uint64_t iterations = 0;
+  /// Peer blocks installed from a real message without waiting.
+  std::uint64_t blocks_received_in_time = 0;
+  /// Peer blocks installed from speculation.
+  std::uint64_t blocks_speculated = 0;
+  /// Speculations later checked against the real message.
+  std::uint64_t checks = 0;
+  /// Checks whose error exceeded the threshold.
+  std::uint64_t failures = 0;
+  /// Failed speculations repaired by the application's cheap correction.
+  std::uint64_t incremental_corrections = 0;
+  /// Iterations recomputed by rollback + replay.
+  std::uint64_t replayed_iterations = 0;
+  /// Distribution of observed speculation errors (eq. 11 values).
+  support::OnlineStats error;
+  /// Largest forward window in effect during the run (interesting when an
+  /// adaptive window policy is driving it).
+  int max_window_used = 0;
+
+  /// The paper's k: fraction of checks that failed, in [0, 1].
+  double failure_fraction() const noexcept {
+    return checks == 0 ? 0.0
+                       : static_cast<double>(failures) / static_cast<double>(checks);
+  }
+
+  void merge(const SpecStats& other) noexcept {
+    iterations += other.iterations;
+    blocks_received_in_time += other.blocks_received_in_time;
+    blocks_speculated += other.blocks_speculated;
+    checks += other.checks;
+    failures += other.failures;
+    incremental_corrections += other.incremental_corrections;
+    replayed_iterations += other.replayed_iterations;
+    error.merge(other.error);
+    max_window_used = std::max(max_window_used, other.max_window_used);
+  }
+};
+
+}  // namespace specomp::spec

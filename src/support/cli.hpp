@@ -1,0 +1,33 @@
+// Tiny command-line option parser for the examples and bench binaries.
+// Supports `--name value`, `--name=value` and boolean `--flag` forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace specomp::support {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+  /// Option names that were present but never queried — for typo detection.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace specomp::support

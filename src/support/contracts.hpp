@@ -1,0 +1,41 @@
+// Lightweight precondition / postcondition / invariant checks.
+//
+// Following the C++ Core Guidelines (I.6 / I.8) we express interface
+// contracts explicitly.  Violations indicate programmer error, never
+// recoverable runtime conditions, so they abort with a diagnostic rather
+// than throw.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace specomp::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace specomp::detail
+
+#define SPEC_EXPECTS(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::specomp::detail::contract_failure("Precondition", #cond, __FILE__, \
+                                          __LINE__);                       \
+  } while (0)
+
+#define SPEC_ENSURES(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::specomp::detail::contract_failure("Postcondition", #cond, __FILE__, \
+                                          __LINE__);                        \
+  } while (0)
+
+#define SPEC_ASSERT(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::specomp::detail::contract_failure("Invariant", #cond, __FILE__, \
+                                          __LINE__);                     \
+  } while (0)

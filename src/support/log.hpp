@@ -1,0 +1,52 @@
+// Leveled, thread-safe logging.  Default level is Warn so library users get
+// a quiet console; the examples raise it to Info via --verbose.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace specomp::support {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr (serialised across threads).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) noexcept : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace specomp::support
+
+#define SPEC_LOG(level)                                            \
+  if (static_cast<int>(level) <                                    \
+      static_cast<int>(::specomp::support::log_level())) {         \
+  } else                                                           \
+    ::specomp::support::detail::LogStream(level)
+
+#define SPEC_LOG_INFO SPEC_LOG(::specomp::support::LogLevel::Info)
+#define SPEC_LOG_DEBUG SPEC_LOG(::specomp::support::LogLevel::Debug)
+#define SPEC_LOG_WARN SPEC_LOG(::specomp::support::LogLevel::Warn)
+#define SPEC_LOG_ERROR SPEC_LOG(::specomp::support::LogLevel::Error)

@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (network jitter, background
+// traffic, initial particle placement) is driven through these generators so
+// that a run is a pure function of its seeds.  Xoshiro256** is used as the
+// workhorse generator; SplitMix64 seeds it and derives independent streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace specomp::support {
+
+/// SplitMix64: tiny generator used to expand a single 64-bit seed into the
+/// state of larger generators and to derive decorrelated per-stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit generator (Blackman & Vigna).
+/// Satisfies std::uniform_random_bit_generator, so it can drive standard
+/// distributions as well as the helpers below.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Exponentially distributed with the given mean (mean > 0).
+  double exponential(double mean) noexcept;
+  /// Standard normal via Box-Muller (no cached spare: deterministic stream).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Derives a decorrelated child generator; `stream` distinguishes children
+  /// of the same parent seed.
+  Xoshiro256 fork(std::uint64_t stream) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  std::uint64_t seed_ = 0;  // retained for fork()
+};
+
+}  // namespace specomp::support

@@ -1,0 +1,96 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace specomp::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SPEC_EXPECTS(!headers_.empty());
+}
+
+Table& Table::row() {
+  SPEC_EXPECTS(cells_.empty() || cells_.back().size() == headers_.size());
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  SPEC_EXPECTS(!cells_.empty());
+  SPEC_EXPECTS(cells_.back().size() < headers_.size());
+  cells_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return add(os.str());
+}
+
+Table& Table::add(std::size_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+const std::string& Table::cell(std::size_t r, std::size_t c) const {
+  SPEC_EXPECTS(r < cells_.size());
+  SPEC_EXPECTS(c < cells_[r].size());
+  return cells_[r][c];
+}
+
+std::string Table::markdown() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : cells_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::ostream& os) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string{};
+      os << " " << v << std::string(widths[c] - v.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+
+  std::ostringstream os;
+  emit_row(headers_, os);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : cells_) emit_row(row, os);
+  return os.str();
+}
+
+std::string Table::csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << (c ? "," : "") << quote(headers_[c]);
+  os << "\n";
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << quote(row[c]);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.markdown();
+}
+
+}  // namespace specomp::support

@@ -1,0 +1,38 @@
+// Plain-text table rendering for the benchmark harnesses.  Every experiment
+// binary prints the rows of the paper table/figure it regenerates in either
+// aligned-markdown or CSV form.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace specomp::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill its cells.
+  Table& row();
+  Table& add(std::string cell);
+  Table& add(double value, int precision = 3);
+  Table& add(std::size_t value);
+  Table& add(int value);
+
+  std::size_t rows() const noexcept { return cells_.size(); }
+  const std::string& cell(std::size_t r, std::size_t c) const;
+
+  /// Column-aligned markdown (the default human-readable output).
+  std::string markdown() const;
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace specomp::support

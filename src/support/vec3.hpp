@@ -1,0 +1,46 @@
+// Minimal 3-vector for the N-body application.
+#pragma once
+
+#include <cmath>
+
+namespace specomp::support {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) noexcept {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) noexcept { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) noexcept { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) noexcept { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) noexcept { return a *= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) noexcept { return {-a.x, -a.y, -a.z}; }
+  friend constexpr bool operator==(const Vec3&, const Vec3&) noexcept = default;
+
+  constexpr double dot(const Vec3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr double norm2() const noexcept { return dot(*this); }
+  double norm() const noexcept { return std::sqrt(norm2()); }
+};
+
+}  // namespace specomp::support

@@ -1,0 +1,144 @@
+#include "apps/heat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace specomp::apps {
+namespace {
+
+runtime::SimConfig small_sim(std::size_t p) {
+  runtime::SimConfig config;
+  config.cluster = runtime::Cluster::homogeneous(p, 1e5);
+  config.channel.bandwidth_bytes_per_sec = 5e4;
+  config.channel.extra_delay = nullptr;
+  config.send_sw_time = des::SimTime::micros(100);
+  return config;
+}
+
+TEST(HeatSerial, MaxPrincipleHolds) {
+  HeatProblem problem;
+  problem.n = 128;
+  const auto u0 = heat_initial_condition(problem);
+  const auto u = serial_heat(problem, 100);
+  const double hi0 = *std::max_element(u0.begin(), u0.end());
+  for (double v : u) {
+    EXPECT_LE(v, hi0 + 1e-12);
+    EXPECT_GE(v, -1e-12);  // non-negative initial data stays non-negative
+  }
+}
+
+TEST(HeatSerial, HeatDecaysWithAbsorbingBoundaries) {
+  HeatProblem problem;
+  problem.n = 64;
+  const auto u0 = heat_initial_condition(problem);
+  const auto u = serial_heat(problem, 500);
+  double total0 = 0.0;
+  double total = 0.0;
+  for (double v : u0) total0 += v;
+  for (double v : u) total += v;
+  EXPECT_LT(total, total0);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(HeatParallel, Fw0MatchesSerial) {
+  HeatScenario s;
+  s.problem.n = 96;
+  s.iterations = 40;
+  s.forward_window = 0;
+  s.sim = small_sim(4);
+  const HeatRunResult run = run_heat_scenario(s);
+  const auto serial = serial_heat(s.problem, s.iterations);
+  ASSERT_EQ(run.field.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_NEAR(run.field[i], serial[i], 1e-12);
+}
+
+TEST(HeatParallel, SpeculativeCloseToSerial) {
+  HeatScenario s;
+  s.problem.n = 96;
+  s.iterations = 40;
+  s.forward_window = 1;
+  s.theta = 1e-4;
+  s.sim = small_sim(4);
+  const HeatRunResult run = run_heat_scenario(s);
+  const auto serial = serial_heat(s.problem, s.iterations);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    worst = std::max(worst, std::fabs(run.field[i] - serial[i]));
+  EXPECT_LT(worst, 1e-2);
+  EXPECT_GT(run.spec.blocks_speculated, 0u);
+}
+
+TEST(HeatParallel, NonNeighbourSpeculationAlwaysAcceptable) {
+  // With 6 ranks most peer pairs are non-neighbours; their speculation
+  // error is identically zero, so failures can only involve halo cells.
+  HeatScenario s;
+  s.problem.n = 120;
+  s.iterations = 30;
+  s.forward_window = 1;
+  s.theta = 1e-9;  // punish any halo error
+  s.sim = small_sim(6);
+  const HeatRunResult run = run_heat_scenario(s);
+  // At least the 2(p-1) - ... non-neighbour checks must have error 0.
+  EXPECT_GT(run.spec.checks, run.spec.failures);
+  EXPECT_DOUBLE_EQ(run.spec.error.min(), 0.0);
+}
+
+TEST(HeatParallel, TinyThetaMatchesSerialViaCorrections) {
+  HeatScenario s;
+  s.problem.n = 80;
+  s.iterations = 30;
+  s.forward_window = 1;
+  s.theta = 0.0;
+  s.sim = small_sim(4);
+  const HeatRunResult run = run_heat_scenario(s);
+  const auto serial = serial_heat(s.problem, s.iterations);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_NEAR(run.field[i], serial[i], 1e-10);
+}
+
+TEST(HeatApp, CorrectionRepairsBoundaryCellExactly) {
+  HeatProblem problem;
+  problem.n = 30;
+  const auto partition = nbody::Partition::from_counts(
+      runtime::Cluster::homogeneous(3, 1.0).proportional_partition(problem.n));
+  const auto u0 = heat_initial_condition(problem);
+
+  HeatApp corrected(problem, partition, 1);  // middle rank: two neighbours
+  auto blocks = HeatApp::initial_blocks(partition, u0);
+  auto wrong_left = blocks[0];
+  wrong_left.back() += 0.7;  // corrupt the halo cell
+  corrected.install_peer(0, wrong_left);
+  corrected.compute_step();
+  ASSERT_TRUE(corrected.correct_last_step(0, blocks[0]));
+
+  HeatApp exact(problem, partition, 1);
+  exact.compute_step();
+
+  const auto a = corrected.local_values();
+  const auto b = exact.local_values();
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-14);
+}
+
+TEST(HeatApp, ErrorMetricOnlySeesHaloCells) {
+  HeatProblem problem;
+  problem.n = 30;
+  const auto partition = nbody::Partition::from_counts(
+      runtime::Cluster::homogeneous(3, 1.0).proportional_partition(problem.n));
+  const auto u0 = heat_initial_condition(problem);
+  HeatApp app(problem, partition, 1);
+  auto blocks = HeatApp::initial_blocks(partition, u0);
+
+  auto interior_wrong = blocks[0];
+  interior_wrong.front() += 100.0;  // far cell of the left neighbour
+  EXPECT_DOUBLE_EQ(app.speculation_error(0, interior_wrong, blocks[0]), 0.0);
+
+  auto halo_wrong = blocks[0];
+  halo_wrong.back() += 0.25;  // the cell my stencil actually reads
+  EXPECT_DOUBLE_EQ(app.speculation_error(0, halo_wrong, blocks[0]), 0.25);
+}
+
+}  // namespace
+}  // namespace specomp::apps

@@ -1,0 +1,169 @@
+#include "apps/jacobi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace specomp::apps {
+namespace {
+
+runtime::SimConfig small_sim(std::size_t p) {
+  runtime::SimConfig config;
+  config.cluster = runtime::Cluster::linear(p, 1e6, 2.0);
+  config.channel.bandwidth_bytes_per_sec = 5e4;
+  config.channel.extra_delay = nullptr;
+  config.send_sw_time = des::SimTime::micros(100);
+  return config;
+}
+
+TEST(JacobiProblem, DiagonallyDominant) {
+  const JacobiProblem problem = make_jacobi_problem(50, 3, 2.0);
+  for (std::size_t i = 0; i < problem.n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < problem.n; ++j)
+      if (j != i) off += std::fabs(problem.at(i, j));
+    EXPECT_GT(std::fabs(problem.at(i, i)), off);
+  }
+}
+
+TEST(JacobiProblem, DeterministicInSeed) {
+  const JacobiProblem a = make_jacobi_problem(20, 5);
+  const JacobiProblem b = make_jacobi_problem(20, 5);
+  EXPECT_EQ(a.a, b.a);
+  EXPECT_EQ(a.b, b.b);
+}
+
+TEST(SerialJacobi, ConvergesOnDominantSystem) {
+  const JacobiProblem problem = make_jacobi_problem(60, 9, 3.0);
+  const auto x10 = serial_jacobi(problem, 10);
+  const auto x60 = serial_jacobi(problem, 60);
+  EXPECT_LT(jacobi_residual(problem, x60), jacobi_residual(problem, x10));
+  EXPECT_LT(jacobi_residual(problem, x60), 1e-8);
+}
+
+TEST(JacobiParallel, Fw0MatchesSerial) {
+  JacobiScenario s;
+  s.n = 64;
+  s.iterations = 20;
+  s.forward_window = 0;
+  s.sim = small_sim(4);
+  const JacobiRunResult run = run_jacobi_scenario(s);
+  const auto serial =
+      serial_jacobi(make_jacobi_problem(s.n, s.seed, s.dominance), s.iterations);
+  ASSERT_EQ(run.solution.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_NEAR(run.solution[i], serial[i], 1e-12);
+}
+
+TEST(JacobiParallel, SpeculativeRunStaysAccurate) {
+  JacobiScenario s;
+  s.n = 64;
+  s.iterations = 30;
+  s.forward_window = 1;
+  s.theta = 1e-3;
+  s.sim = small_sim(4);
+  const JacobiRunResult run = run_jacobi_scenario(s);
+  EXPECT_GT(run.spec.blocks_speculated, 0u);
+  EXPECT_LT(run.residual, 1e-3);
+}
+
+TEST(JacobiParallel, SpeculationImprovesMakespan) {
+  JacobiScenario spec;
+  spec.n = 64;
+  spec.iterations = 25;
+  spec.forward_window = 1;
+  spec.sim = small_sim(4);
+  JacobiScenario base = spec;
+  base.forward_window = 0;
+  const JacobiRunResult spec_run = run_jacobi_scenario(spec);
+  const JacobiRunResult base_run = run_jacobi_scenario(base);
+  EXPECT_LT(spec_run.sim.makespan_seconds, base_run.sim.makespan_seconds);
+}
+
+TEST(JacobiParallel, CorrectionRepairExact) {
+  // Tiny theta forces corrections every iteration; the incremental repair is
+  // exact for Jacobi, so the result still matches serial closely.
+  JacobiScenario s;
+  s.n = 48;
+  s.iterations = 20;
+  s.forward_window = 1;
+  s.theta = 0.0;
+  s.sim = small_sim(3);
+  const JacobiRunResult run = run_jacobi_scenario(s);
+  const auto serial =
+      serial_jacobi(make_jacobi_problem(s.n, s.seed, s.dominance), s.iterations);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_NEAR(run.solution[i], serial[i], 1e-9);
+  EXPECT_EQ(run.spec.failures, run.spec.checks);
+  EXPECT_GT(run.spec.incremental_corrections, 0u);
+}
+
+TEST(JacobiAsync, ConvergesOnDominantSystem) {
+  // Chaotic relaxation contracts as long as staleness stays bounded, which
+  // requires a network that keeps up with the send rate: asynchronous
+  // iteration has no flow control, so on a too-slow wire the medium queue
+  // (and the data lag) grows without bound and the residual plateaus.
+  auto residual_after = [](long iterations) {
+    JacobiScenario s;
+    s.n = 64;
+    s.iterations = iterations;
+    s.dominance = 3.0;
+    s.sim = small_sim(4);
+    s.sim.channel.bandwidth_bytes_per_sec = 5e6;  // wire outpaces senders
+    s.sim.channel.propagation = des::SimTime::millis(5);
+    return run_jacobi_async(s).residual;
+  };
+  const double early = residual_after(20);
+  const double late = residual_after(150);
+  EXPECT_LT(late, early / 100.0);
+  EXPECT_LT(late, 1e-5);
+}
+
+TEST(JacobiAsync, NeverBlocksOnTheNetwork) {
+  JacobiScenario s;
+  s.n = 64;
+  s.iterations = 20;
+  s.sim = small_sim(4);
+  const JacobiRunResult run = run_jacobi_async(s);
+  for (const auto& timer : run.sim.timers)
+    EXPECT_DOUBLE_EQ(timer.get(runtime::Phase::Communicate).to_seconds(), 0.0);
+}
+
+TEST(JacobiAsync, StalenessCostsAccuracyVsSynchronous) {
+  JacobiScenario s;
+  s.n = 64;
+  s.iterations = 12;  // few sweeps: staleness visible
+  s.dominance = 1.5;  // slow contraction
+  s.sim = small_sim(4);
+  // Make the network slow enough that async actually runs on stale data.
+  s.sim.channel.propagation = des::SimTime::millis(400);
+  const JacobiRunResult async_run = run_jacobi_async(s);
+  JacobiScenario sync = s;
+  sync.forward_window = 0;
+  const JacobiRunResult sync_run = run_jacobi_scenario(sync);
+  EXPECT_GT(async_run.residual, sync_run.residual);
+  EXPECT_LT(async_run.sim.makespan_seconds, sync_run.sim.makespan_seconds);
+}
+
+TEST(JacobiApp, CorrectLastStepEqualsExactCompute) {
+  const JacobiProblem problem = make_jacobi_problem(30, 13, 2.0);
+  const auto partition = nbody::Partition::from_counts(
+      runtime::Cluster::homogeneous(3, 1.0).proportional_partition(30));
+
+  JacobiApp corrected(problem, partition, 0);
+  std::vector<double> speculated(partition.counts[1], 0.5);  // wrong guess
+  corrected.install_peer(1, speculated);
+  corrected.compute_step();
+  std::vector<double> actual(partition.counts[1], 0.0);  // true x(0) block
+  ASSERT_TRUE(corrected.correct_last_step(1, actual));
+
+  JacobiApp exact(problem, partition, 0);
+  exact.compute_step();
+
+  const auto a = corrected.local_values();
+  const auto b = exact.local_values();
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+}  // namespace
+}  // namespace specomp::apps

@@ -1,0 +1,98 @@
+#include "des/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/process.hpp"
+
+namespace specomp::des {
+namespace {
+
+TEST(SimTime, ArithmeticAndComparison) {
+  const SimTime a = SimTime::seconds(1.5);
+  const SimTime b = SimTime::millis(500);
+  EXPECT_DOUBLE_EQ((a + b).to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).to_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).to_seconds(), 3.0);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(SimTime::micros(1000).to_seconds(), SimTime::millis(1).to_seconds());
+  EXPECT_DOUBLE_EQ(SimTime::seconds(2).to_millis(), 2000.0);
+}
+
+TEST(Kernel, ExecutesEventsInTimeOrder) {
+  Kernel kernel;
+  std::vector<int> order;
+  kernel.schedule_at(SimTime::seconds(3), [&] { order.push_back(3); });
+  kernel.schedule_at(SimTime::seconds(1), [&] { order.push_back(1); });
+  kernel.schedule_at(SimTime::seconds(2), [&] { order.push_back(2); });
+  const KernelStats stats = kernel.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(stats.events_executed, 3u);
+  EXPECT_DOUBLE_EQ(stats.end_time.to_seconds(), 3.0);
+}
+
+TEST(Kernel, TiesBreakInScheduleOrder) {
+  Kernel kernel;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    kernel.schedule_at(SimTime::seconds(1), [&order, i] { order.push_back(i); });
+  kernel.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Kernel, EventsMayScheduleMoreEvents) {
+  Kernel kernel;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) kernel.schedule_in(SimTime::seconds(1), chain);
+  };
+  kernel.schedule_at(SimTime::seconds(1), chain);
+  kernel.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(kernel.now().to_seconds(), 5.0);
+}
+
+TEST(Kernel, RunUntilStopsAtLimit) {
+  Kernel kernel;
+  int fired = 0;
+  kernel.schedule_at(SimTime::seconds(1), [&] { ++fired; });
+  kernel.schedule_at(SimTime::seconds(10), [&] { ++fired; });
+  kernel.run_until(SimTime::seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(kernel.now().to_seconds(), 5.0);
+  kernel.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Kernel, NowAdvancesMonotonically) {
+  Kernel kernel;
+  SimTime last = SimTime::zero();
+  bool monotonic = true;
+  for (int i = 0; i < 50; ++i) {
+    kernel.schedule_at(SimTime::seconds(i % 7), [&] {
+      if (kernel.now() < last) monotonic = false;
+      last = kernel.now();
+    });
+  }
+  kernel.run();
+  EXPECT_TRUE(monotonic);
+}
+
+TEST(KernelDeath, SchedulingInThePastAborts) {
+  Kernel kernel;
+  kernel.schedule_at(SimTime::seconds(5), [] {});
+  kernel.run();
+  EXPECT_DEATH(kernel.schedule_at(SimTime::seconds(1), [] {}), "Precondition");
+}
+
+TEST(Kernel, EmptyRunIsNoop) {
+  Kernel kernel;
+  const KernelStats stats = kernel.run();
+  EXPECT_EQ(stats.events_executed, 0u);
+  EXPECT_DOUBLE_EQ(stats.end_time.to_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace specomp::des

@@ -1,0 +1,61 @@
+#include "des/resource.hpp"
+
+#include <gtest/gtest.h>
+
+namespace specomp::des {
+namespace {
+
+TEST(Resource, IdleJobStartsImmediately) {
+  Resource r("wire");
+  const SimTime done = r.serve(SimTime::seconds(1), SimTime::seconds(2));
+  EXPECT_DOUBLE_EQ(done.to_seconds(), 3.0);
+  EXPECT_EQ(r.jobs_served(), 1u);
+  EXPECT_DOUBLE_EQ(r.total_wait().to_seconds(), 0.0);
+}
+
+TEST(Resource, FifoSerialisation) {
+  Resource r("wire");
+  const SimTime d1 = r.serve(SimTime::seconds(0), SimTime::seconds(5));
+  const SimTime d2 = r.serve(SimTime::seconds(1), SimTime::seconds(5));
+  const SimTime d3 = r.serve(SimTime::seconds(2), SimTime::seconds(5));
+  EXPECT_DOUBLE_EQ(d1.to_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(d2.to_seconds(), 10.0);  // waited 4
+  EXPECT_DOUBLE_EQ(d3.to_seconds(), 15.0);  // waited 8
+  EXPECT_DOUBLE_EQ(r.total_wait().to_seconds(), 12.0);
+  EXPECT_DOUBLE_EQ(r.mean_wait_seconds(), 4.0);
+}
+
+TEST(Resource, GapLeavesIdleTime) {
+  Resource r("wire");
+  r.serve(SimTime::seconds(0), SimTime::seconds(1));
+  const SimTime done = r.serve(SimTime::seconds(10), SimTime::seconds(1));
+  EXPECT_DOUBLE_EQ(done.to_seconds(), 11.0);
+  EXPECT_DOUBLE_EQ(r.total_wait().to_seconds(), 0.0);
+}
+
+TEST(Resource, UtilisationFraction) {
+  Resource r("wire");
+  r.serve(SimTime::seconds(0), SimTime::seconds(2));
+  r.serve(SimTime::seconds(5), SimTime::seconds(3));
+  EXPECT_DOUBLE_EQ(r.utilisation(SimTime::seconds(10)), 0.5);
+  EXPECT_DOUBLE_EQ(r.utilisation(SimTime::zero()), 0.0);
+}
+
+TEST(Resource, ZeroServiceAllowed) {
+  Resource r("wire");
+  const SimTime done = r.serve(SimTime::seconds(3), SimTime::zero());
+  EXPECT_DOUBLE_EQ(done.to_seconds(), 3.0);
+}
+
+TEST(Resource, WaitStatsTrackDistribution) {
+  Resource r("wire");
+  r.serve(SimTime::seconds(0), SimTime::seconds(4));
+  r.serve(SimTime::seconds(0), SimTime::seconds(4));
+  r.serve(SimTime::seconds(0), SimTime::seconds(4));
+  EXPECT_EQ(r.wait_stats().count(), 3u);
+  EXPECT_DOUBLE_EQ(r.wait_stats().max(), 8.0);
+  EXPECT_DOUBLE_EQ(r.wait_stats().min(), 0.0);
+}
+
+}  // namespace
+}  // namespace specomp::des

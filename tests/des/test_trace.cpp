@@ -1,0 +1,58 @@
+#include "des/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace specomp::des {
+namespace {
+
+TEST(Trace, RecordsSpansAndHorizon) {
+  Trace trace;
+  trace.add_span(0, SpanKind::Compute, SimTime::zero(), SimTime::seconds(2));
+  trace.add_span(1, SpanKind::Wait, SimTime::seconds(1), SimTime::seconds(4));
+  EXPECT_EQ(trace.spans().size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.horizon().to_seconds(), 4.0);
+}
+
+TEST(Trace, EventsExtendHorizon) {
+  Trace trace;
+  trace.add_event(0, SimTime::seconds(9), "spike");
+  EXPECT_DOUBLE_EQ(trace.horizon().to_seconds(), 9.0);
+}
+
+TEST(Trace, GanttContainsLaneRowsAndLegend) {
+  Trace trace;
+  trace.add_span(0, SpanKind::Compute, SimTime::zero(), SimTime::seconds(1));
+  trace.add_span(1, SpanKind::Wait, SimTime::zero(), SimTime::seconds(1));
+  const std::string art = trace.gantt(2, 40);
+  EXPECT_NE(art.find("P0 |"), std::string::npos);
+  EXPECT_NE(art.find("P1 |"), std::string::npos);
+  EXPECT_NE(art.find("legend:"), std::string::npos);
+  EXPECT_NE(art.find('C'), std::string::npos);
+}
+
+TEST(Trace, SymbolsDistinct) {
+  EXPECT_NE(span_symbol(SpanKind::Compute), span_symbol(SpanKind::Wait));
+  EXPECT_NE(span_symbol(SpanKind::Compute),
+            span_symbol(SpanKind::SpeculativeCompute));
+  EXPECT_NE(span_symbol(SpanKind::Check), span_symbol(SpanKind::Correct));
+}
+
+TEST(Trace, TinySpanStillVisible) {
+  Trace trace;
+  trace.add_span(0, SpanKind::Check, SimTime::seconds(5.0),
+                 SimTime::seconds(5.000001));
+  trace.add_span(0, SpanKind::Compute, SimTime::zero(), SimTime::seconds(10));
+  const std::string art = trace.gantt(1, 50);
+  EXPECT_NE(art.find('k'), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  Trace trace;
+  trace.add_span(0, SpanKind::Compute, SimTime::zero(), SimTime::seconds(1));
+  trace.clear();
+  EXPECT_TRUE(trace.spans().empty());
+  EXPECT_DOUBLE_EQ(trace.horizon().to_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace specomp::des

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nbody/energy.hpp"
+#include "nbody/init.hpp"
+#include "nbody/scenario.hpp"
+#include "nbody/serial.hpp"
+
+namespace specomp::nbody {
+namespace {
+
+NBodyScenario small_scenario(std::size_t ranks, Algorithm algorithm,
+                             int fw = 1) {
+  NBodyScenario s;
+  s.body.n = 64;
+  s.body.dt = 1e-3;
+  s.body.softening2 = 1e-3;
+  s.body.init = InitKind::Plummer;
+  s.body.seed = 77;
+  s.iterations = 10;
+  s.algorithm = algorithm;
+  s.forward_window = fw;
+  s.theta = 0.01;
+  s.sim.cluster = runtime::Cluster::linear(ranks, 1e6, 4.0);
+  s.sim.channel = paper_channel_config();
+  // Scale the network down to the small problem so waits are comparable to
+  // compute: 64 particles over 4 ranks is ~1 KB per message.
+  s.sim.channel.bandwidth_bytes_per_sec = 2e4;
+  s.sim.send_sw_time = des::SimTime::micros(100);
+  return s;
+}
+
+double trajectory_rms(const std::vector<Particle>& a,
+                      const std::vector<Particle>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    sum += (a[i].pos - b[i].pos).norm2();
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+TEST(NBodyParallel, Fig7MatchesSerialTrajectory) {
+  const NBodyScenario s = small_scenario(4, Algorithm::Fig7Baseline);
+  const NBodyRunResult run = run_scenario(s);
+  const auto serial =
+      run_serial(make_initial_conditions(s.body), s.body, s.iterations);
+  ASSERT_EQ(run.final_particles.size(), serial.size());
+  EXPECT_LT(trajectory_rms(run.final_particles, serial), 1e-10);
+}
+
+TEST(NBodyParallel, EngineFw0MatchesSerialTrajectory) {
+  const NBodyScenario s =
+      small_scenario(4, Algorithm::Speculative, /*fw=*/0);
+  const NBodyRunResult run = run_scenario(s);
+  const auto serial =
+      run_serial(make_initial_conditions(s.body), s.body, s.iterations);
+  EXPECT_LT(trajectory_rms(run.final_particles, serial), 1e-10);
+}
+
+TEST(NBodyParallel, SpeculativeTrajectoryWithinThetaBound) {
+  const NBodyScenario s = small_scenario(4, Algorithm::Speculative, 1);
+  const NBodyRunResult run = run_scenario(s);
+  const auto serial =
+      run_serial(make_initial_conditions(s.body), s.body, s.iterations);
+  // Accepted speculation errors perturb the trajectory, but bounded by θ
+  // the deviation stays far below the system scale (~1).
+  EXPECT_LT(trajectory_rms(run.final_particles, serial), 5e-3);
+  EXPECT_GT(run.spec.blocks_speculated, 0u);
+}
+
+TEST(NBodyParallel, TinyThetaRollbackReproducesBaselineExactly) {
+  // θ = 0 with rollback-only repair: every speculation is recomputed from
+  // actual data by replaying the iteration, so the trajectory must equal
+  // the FW = 0 run bit-for-bit.
+  NBodyScenario s = small_scenario(3, Algorithm::Speculative, 1);
+  s.theta = 0.0;
+  s.allow_incremental_correction = false;
+  const NBodyRunResult spec_run = run_scenario(s);
+  NBodyScenario base = small_scenario(3, Algorithm::Speculative, 0);
+  const NBodyRunResult base_run = run_scenario(base);
+  EXPECT_LT(trajectory_rms(spec_run.final_particles, base_run.final_particles),
+            1e-15);
+  EXPECT_EQ(spec_run.spec.failures, spec_run.spec.checks);
+  EXPECT_GT(spec_run.spec.replayed_iterations, 0u);
+}
+
+TEST(NBodyParallel, TinyThetaIncrementalCorrectionNearBaseline) {
+  // Same, but repaired by the paper's cheap force correction: equal up to
+  // the floating-point reassociation the subtract-and-add introduces.
+  NBodyScenario s = small_scenario(3, Algorithm::Speculative, 1);
+  s.theta = 0.0;
+  const NBodyRunResult spec_run = run_scenario(s);
+  NBodyScenario base = small_scenario(3, Algorithm::Speculative, 0);
+  const NBodyRunResult base_run = run_scenario(base);
+  EXPECT_LT(trajectory_rms(spec_run.final_particles, base_run.final_particles),
+            1e-8);
+  EXPECT_GT(spec_run.spec.incremental_corrections, 0u);
+}
+
+TEST(NBodyParallel, SpeculationReducesMakespanOnSlowNetwork) {
+  const NBodyRunResult base =
+      run_scenario(small_scenario(4, Algorithm::Fig7Baseline));
+  const NBodyRunResult spec =
+      run_scenario(small_scenario(4, Algorithm::Speculative, 1));
+  EXPECT_LT(spec.sim.makespan_seconds, base.sim.makespan_seconds);
+  // And the blocked time shrinks accordingly.
+  EXPECT_LT(spec.mean_comm_per_iteration, base.mean_comm_per_iteration);
+}
+
+TEST(NBodyParallel, EnergyConservedThroughSpeculation) {
+  NBodyScenario s = small_scenario(4, Algorithm::Speculative, 1);
+  s.body.dt = 2e-4;
+  s.iterations = 20;
+  const auto initial = make_initial_conditions(s.body);
+  const double e0 =
+      compute_diagnostics(initial, s.body.softening2).total_energy();
+  const NBodyRunResult run = run_scenario(s);
+  const double e1 =
+      compute_diagnostics(run.final_particles, s.body.softening2).total_energy();
+  EXPECT_LT(std::fabs(e1 - e0) / std::fabs(e0), 0.02);
+}
+
+TEST(NBodyParallel, RecomputationFractionSmallAtPaperTheta) {
+  NBodyScenario s = small_scenario(4, Algorithm::Speculative, 1);
+  s.theta = 0.01;
+  const NBodyRunResult run = run_scenario(s);
+  // The paper measured ~2% at θ = 0.01; allow a generous band.
+  EXPECT_LT(run.spec.failure_fraction(), 0.30);
+}
+
+TEST(NBodyParallel, ForwardWindowTwoSpeculatesDeeper) {
+  const NBodyRunResult fw1 =
+      run_scenario(small_scenario(4, Algorithm::Speculative, 1));
+  const NBodyRunResult fw2 =
+      run_scenario(small_scenario(4, Algorithm::Speculative, 2));
+  EXPECT_GE(fw2.spec.blocks_speculated, fw1.spec.blocks_speculated);
+  EXPECT_LE(fw2.sim.makespan_seconds, fw1.sim.makespan_seconds * 1.05);
+}
+
+TEST(NBodyParallel, SingleRankHasNoCommunication) {
+  const NBodyScenario s = small_scenario(1, Algorithm::Speculative, 1);
+  const NBodyRunResult run = run_scenario(s);
+  EXPECT_DOUBLE_EQ(run.mean_comm_per_iteration, 0.0);
+  EXPECT_EQ(run.spec.blocks_speculated, 0u);
+  EXPECT_EQ(run.sim.channel_stats.messages, 0u);
+}
+
+TEST(NBodyParallel, PhaseTimesAccountedForSpeculativeRun) {
+  const NBodyRunResult run =
+      run_scenario(small_scenario(4, Algorithm::Speculative, 1));
+  EXPECT_GT(run.mean_compute_per_iteration, 0.0);
+  EXPECT_GT(run.mean_speculate_per_iteration, 0.0);
+  EXPECT_GT(run.mean_check_per_iteration, 0.0);
+}
+
+}  // namespace
+}  // namespace specomp::nbody

@@ -1,0 +1,56 @@
+#include "model/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace specomp::model {
+namespace {
+
+TEST(Calibrate, ExactLinearFit) {
+  const std::vector<MeasuredCommPoint> points{
+      {2, 0.25}, {4, 0.45}, {8, 0.85}, {16, 1.65}};  // t = 0.05 + 0.1 p
+  const auto [base, slope] = fit_linear_comm(points);
+  EXPECT_NEAR(base, 0.05, 1e-9);
+  EXPECT_NEAR(slope, 0.1, 1e-9);
+}
+
+TEST(Calibrate, SinglePointThroughOrigin) {
+  const std::vector<MeasuredCommPoint> points{{8, 0.8}};
+  const auto [base, slope] = fit_linear_comm(points);
+  EXPECT_DOUBLE_EQ(base, 0.0);
+  EXPECT_DOUBLE_EQ(slope, 0.1);
+}
+
+TEST(Calibrate, NoisyFitRecoversTrend) {
+  std::vector<MeasuredCommPoint> points;
+  for (std::size_t p = 2; p <= 16; ++p) {
+    const double noise = (p % 2 == 0) ? 0.01 : -0.01;
+    points.push_back({p, 0.02 + 0.05 * static_cast<double>(p) + noise});
+  }
+  const auto [base, slope] = fit_linear_comm(points);
+  EXPECT_NEAR(slope, 0.05, 0.005);
+  EXPECT_NEAR(base, 0.02, 0.02);
+}
+
+TEST(Calibrate, BuildsUsableModel) {
+  CalibrationInputs inputs;
+  inputs.total_variables = 1000;
+  inputs.f_comp = 70.0 * 999.0;  // O(N) per-variable force sum
+  inputs.f_spec = 12.0;          // paper-measured per-particle costs
+  inputs.f_check = 24.0;
+  inputs.k = 0.02;
+  inputs.cluster = runtime::Cluster::linear(16, 12e6, 10.0);
+  // t_comm comparable to the balanced compute time (~0.66 s at p = 16);
+  // exactly collinear so the fit reproduces the points.
+  const std::vector<MeasuredCommPoint> points{
+      {4, 0.166}, {8, 0.332}, {16, 0.664}};
+  const ModelParams params = calibrate(inputs, points);
+  EXPECT_DOUBLE_EQ(params.k, 0.02);
+  const PerfModel model(params);
+  EXPECT_NEAR(model.t_comm(8), 0.332, 1e-9);
+  EXPECT_GT(model.speedup_spec(16), model.speedup_no_spec(16));
+}
+
+}  // namespace
+}  // namespace specomp::model

@@ -1,0 +1,179 @@
+#include "model/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace specomp::model {
+namespace {
+
+TEST(PerfModel, SingleProcessorTimeIsEq3) {
+  ModelParams params = paper_figure5_params();
+  PerfModel model(params);
+  const double expected = 1000.0 * params.f_comp /
+                          params.cluster.machine(0).ops_per_sec;
+  EXPECT_DOUBLE_EQ(model.iteration_time_no_spec(1), expected);
+  EXPECT_DOUBLE_EQ(model.speedup_no_spec(1), 1.0);
+}
+
+TEST(PerfModel, AllocationSatisfiesBalanceConditions) {
+  PerfModel model(paper_figure5_params());
+  for (std::size_t p : {2u, 8u, 16u}) {
+    double total = 0.0;
+    double ratio0 = -1.0;
+    for (std::size_t i = 0; i < p; ++i) {
+      const double n_i = model.allocation(i, p);
+      total += n_i;
+      const double ratio =
+          n_i / model.params().cluster.machine(i).ops_per_sec;
+      if (i == 0) ratio0 = ratio;
+      EXPECT_NEAR(ratio, ratio0, 1e-9);  // eq. 4: N_i / M_i equal
+    }
+    EXPECT_NEAR(total, 1000.0, 1e-6);  // eq. 5: sum N_i = N
+  }
+}
+
+TEST(PerfModel, CommTimeLinearInP) {
+  PerfModel model(paper_figure5_params());
+  const double t4 = model.t_comm(4);
+  const double t8 = model.t_comm(8);
+  const double t16 = model.t_comm(16);
+  EXPECT_NEAR(t8 - t4, (t16 - t8) / 2.0, 1e-12);
+}
+
+TEST(PerfModel, Figure5CommEqualsComputeAt16) {
+  ModelParams params = paper_figure5_params();
+  PerfModel model(params);
+  const double compute16 =
+      model.allocation(0, 16) * params.f_comp /
+      params.cluster.machine(0).ops_per_sec;
+  EXPECT_NEAR(model.t_comm(16), compute16, 1e-9);
+}
+
+TEST(PerfModel, SpeculationHelpsLittleAtSmallP) {
+  // Paper: "very little impact for small processor systems (2 to 5)".
+  PerfModel model(paper_figure5_params(0.02));
+  for (std::size_t p : {2u, 3u, 4u}) {
+    const double gain = model.improvement(p);
+    EXPECT_LT(gain, 0.10) << "p=" << p;
+  }
+}
+
+TEST(PerfModel, SpeculationHelpsSubstantiallyAt16) {
+  // Paper: "up to 25% on 16 processors" for the Fig. 5 parameterisation.
+  PerfModel model(paper_figure5_params(0.02));
+  const double gain = model.improvement(16);
+  EXPECT_GT(gain, 0.15);
+  EXPECT_LT(gain, 0.40);
+}
+
+TEST(PerfModel, NoSpecSpeedupDeclinesPastTen) {
+  // Paper: "performance begins to decrease after about 10 processors".
+  PerfModel model(paper_figure5_params(0.02));
+  double best = 0.0;
+  std::size_t best_p = 0;
+  for (std::size_t p = 1; p <= 16; ++p) {
+    const double s = model.speedup_no_spec(p);
+    if (s > best) {
+      best = s;
+      best_p = p;
+    }
+  }
+  EXPECT_GE(best_p, 7u);
+  EXPECT_LE(best_p, 13u);
+  EXPECT_LT(model.speedup_no_spec(16), best);
+}
+
+TEST(PerfModel, SpecSpeedupPeaksLaterAndHigherThanNoSpec) {
+  // Speculation extends useful scaling: its speedup keeps rising well past
+  // the no-speculation peak (the 10:1 fleet's slow-processor check overhead
+  // eventually bends even the speculative curve — see EXPERIMENTS.md).
+  PerfModel model(paper_figure5_params(0.02));
+  auto peak = [&](auto speedup) {
+    std::size_t best_p = 1;
+    for (std::size_t p = 1; p <= 16; ++p)
+      if (speedup(p) > speedup(best_p)) best_p = p;
+    return best_p;
+  };
+  const std::size_t peak_spec =
+      peak([&](std::size_t p) { return model.speedup_spec(p); });
+  const std::size_t peak_nospec =
+      peak([&](std::size_t p) { return model.speedup_no_spec(p); });
+  EXPECT_GT(peak_spec, peak_nospec);
+  for (std::size_t p = 6; p <= 16; ++p)
+    EXPECT_GT(model.speedup_spec(p), model.speedup_no_spec(p));
+}
+
+TEST(PerfModel, SpeedupNeverExceedsMax) {
+  PerfModel model(paper_figure5_params(0.0));
+  for (std::size_t p = 1; p <= 16; ++p) {
+    EXPECT_LE(model.speedup_spec(p), model.max_speedup(p) + 1e-9);
+    EXPECT_LE(model.speedup_no_spec(p), model.max_speedup(p) + 1e-9);
+  }
+}
+
+TEST(PerfModel, Figure6CrossoverExists) {
+  // Paper Fig. 6: on 8 processors speculation wins only below a critical
+  // recomputation fraction.  The paper reports ~10%; with this calibration
+  // the larger masked-communication share at p = 8 moves the crossover to
+  // ~30% (EXPERIMENTS.md discusses the discrepancy).  The *shape* — a
+  // finite crossover beyond which speculation loses — is the claim checked.
+  const PerfModel no_spec(paper_figure5_params(0.0));
+  const double base = no_spec.speedup_no_spec(8);
+  double crossover = -1.0;
+  for (double k = 0.0; k <= 1.00001; k += 0.005) {
+    const PerfModel model(paper_figure5_params(k));
+    if (model.speedup_spec(8) < base) {
+      crossover = k;
+      break;
+    }
+  }
+  ASSERT_GT(crossover, 0.0) << "speculation never lost";
+  EXPECT_GT(crossover, 0.05);
+  EXPECT_LT(crossover, 0.50);
+}
+
+TEST(PerfModel, MoreRecomputationIsMonotonicallyWorse) {
+  double last = 1e300;
+  for (double k : {0.0, 0.05, 0.10, 0.20, 0.50}) {
+    const PerfModel model(paper_figure5_params(k));
+    const double s = model.speedup_spec(8);
+    EXPECT_LT(s, last);
+    last = s;
+  }
+}
+
+TEST(PerfModel, SpecIterationTimeIsMaxOverProcessors) {
+  PerfModel model(paper_figure5_params(0.02));
+  double worst = 0.0;
+  for (std::size_t i = 0; i < 8; ++i)
+    worst = std::max(worst, model.iteration_time_spec(i, 8));
+  EXPECT_DOUBLE_EQ(model.iteration_time_spec(8), worst);
+}
+
+TEST(PerfModel, StochasticMatchesDeterministicWithoutJitter) {
+  PerfModel model(paper_figure5_params(0.02));
+  StochasticCommModel stochastic;
+  stochastic.jitter_mean_seconds = 0.0;
+  stochastic.samples = 100;
+  EXPECT_NEAR(stochastic_iteration_time_spec(model, 8, stochastic),
+              model.iteration_time_spec(8), 1e-9);
+  EXPECT_NEAR(stochastic_iteration_time_no_spec(model, 8, stochastic),
+              model.iteration_time_no_spec(8), 1e-9);
+}
+
+TEST(PerfModel, JitterHurtsNoSpecMoreThanSpec) {
+  // Speculation absorbs communication variance inside the max(); the
+  // no-speculation path pays it in full.
+  PerfModel model(paper_figure5_params(0.02));
+  StochasticCommModel stochastic;
+  stochastic.jitter_mean_seconds = model.t_comm(8) * 0.5;
+  stochastic.samples = 20000;
+  const double spec_penalty = stochastic_iteration_time_spec(model, 8, stochastic) -
+                              model.iteration_time_spec(8);
+  const double nospec_penalty =
+      stochastic_iteration_time_no_spec(model, 8, stochastic) -
+      model.iteration_time_no_spec(8);
+  EXPECT_LT(spec_penalty, nospec_penalty);
+}
+
+}  // namespace
+}  // namespace specomp::model

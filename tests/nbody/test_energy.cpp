@@ -1,0 +1,65 @@
+#include "nbody/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbody/forces.hpp"
+#include "nbody/init.hpp"
+#include "nbody/serial.hpp"
+
+namespace specomp::nbody {
+namespace {
+
+TEST(Diagnostics, TwoBodyClosedForm) {
+  std::vector<Particle> two(2);
+  two[0] = {2.0, {0, 0, 0}, {0, 1, 0}};
+  two[1] = {3.0, {1, 0, 0}, {0, -1, 0}};
+  const Diagnostics d = compute_diagnostics(two, 0.0);
+  EXPECT_DOUBLE_EQ(d.kinetic, 0.5 * 2.0 * 1.0 + 0.5 * 3.0 * 1.0);
+  EXPECT_DOUBLE_EQ(d.potential, -6.0);  // -m1 m2 / r
+  EXPECT_DOUBLE_EQ(d.momentum.y, 2.0 - 3.0);
+  EXPECT_DOUBLE_EQ(d.total_energy(), d.kinetic + d.potential);
+}
+
+TEST(Diagnostics, AngularMomentumOfCircularMotion) {
+  std::vector<Particle> one(1);
+  one[0] = {1.0, {1, 0, 0}, {0, 2, 0}};
+  const Diagnostics d = compute_diagnostics(one, 0.0);
+  EXPECT_DOUBLE_EQ(d.angular_momentum.z, 2.0);
+  EXPECT_DOUBLE_EQ(d.angular_momentum.x, 0.0);
+}
+
+TEST(Diagnostics, MomentumConservedBySerialSteps) {
+  NBodyConfig config;
+  config.n = 60;
+  config.dt = 1e-3;
+  config.softening2 = 1e-4;
+  auto particles = init_plummer(config.n, 17);
+  const Diagnostics before = compute_diagnostics(particles, config.softening2);
+  particles = run_serial(std::move(particles), config, 50);
+  const Diagnostics after = compute_diagnostics(particles, config.softening2);
+  EXPECT_NEAR((after.momentum - before.momentum).norm(), 0.0, 1e-10);
+}
+
+TEST(Diagnostics, EnergyDriftSmallForSmallDt) {
+  NBodyConfig config;
+  config.n = 60;
+  config.dt = 2e-4;
+  config.softening2 = 1e-3;
+  auto particles = init_plummer(config.n, 23);
+  const double e0 =
+      compute_diagnostics(particles, config.softening2).total_energy();
+  particles = run_serial(std::move(particles), config, 100);
+  const double e1 =
+      compute_diagnostics(particles, config.softening2).total_energy();
+  EXPECT_LT(std::fabs(e1 - e0) / std::fabs(e0), 0.02);
+}
+
+TEST(Diagnostics, PotentialIsNegative) {
+  const auto particles = init_uniform_cube(30, 2);
+  const Diagnostics d = compute_diagnostics(particles, 1e-4);
+  EXPECT_LT(d.potential, 0.0);
+  EXPECT_GT(d.kinetic, 0.0);
+}
+
+}  // namespace
+}  // namespace specomp::nbody

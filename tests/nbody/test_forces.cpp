@@ -1,0 +1,153 @@
+#include "nbody/forces.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "nbody/init.hpp"
+
+namespace specomp::nbody {
+namespace {
+
+TEST(PairAcceleration, PointsTowardSource) {
+  const Vec3 a = pair_acceleration({0, 0, 0}, {1, 0, 0}, 2.0, 0.0);
+  EXPECT_GT(a.x, 0.0);
+  EXPECT_DOUBLE_EQ(a.y, 0.0);
+  EXPECT_DOUBLE_EQ(a.z, 0.0);
+  EXPECT_DOUBLE_EQ(a.x, 2.0);  // m / r^2 with r = 1
+}
+
+TEST(PairAcceleration, InverseSquareLaw) {
+  const double a1 = pair_acceleration({0, 0, 0}, {1, 0, 0}, 1.0, 0.0).norm();
+  const double a2 = pair_acceleration({0, 0, 0}, {2, 0, 0}, 1.0, 0.0).norm();
+  EXPECT_NEAR(a1 / a2, 4.0, 1e-12);
+}
+
+TEST(PairAcceleration, SofteningBoundsCloseEncounters) {
+  const double soft = 1e-2;
+  const Vec3 a = pair_acceleration({0, 0, 0}, {1e-9, 0, 0}, 1.0, soft);
+  EXPECT_LT(a.norm(), 1.0 / (soft * std::sqrt(soft)) + 1.0);
+}
+
+TEST(AllAccelerations, NewtonThirdLawBalances) {
+  const auto particles = init_uniform_cube(50, 7);
+  const auto acc = all_accelerations(particles, 1e-4);
+  Vec3 net;
+  for (std::size_t i = 0; i < particles.size(); ++i)
+    net += particles[i].mass * acc[i];
+  EXPECT_NEAR(net.norm(), 0.0, 1e-12);
+}
+
+TEST(AllAccelerations, TwoBodySymmetric) {
+  std::vector<Particle> two(2);
+  two[0] = {1.0, {0, 0, 0}, {}};
+  two[1] = {1.0, {2, 0, 0}, {}};
+  const auto acc = all_accelerations(two, 0.0);
+  EXPECT_DOUBLE_EQ(acc[0].x, 0.25);   // 1 / 2^2
+  EXPECT_DOUBLE_EQ(acc[1].x, -0.25);
+}
+
+TEST(AccumulateAccelerations, BlockDecompositionMatchesMonolithic) {
+  // Summing per-block contributions must equal the all-pairs result: the
+  // identity the parallel algorithm relies on.
+  const auto particles = init_plummer(60, 11);
+  const double soft = 1e-4;
+  const auto expected = all_accelerations(particles, soft);
+
+  const std::size_t n = particles.size();
+  std::vector<Vec3> pos(n);
+  std::vector<double> mass(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] = particles[i].pos;
+    mass[i] = particles[i].mass;
+  }
+  // Split sources into three blocks: [0,20), [20,45), [45,60); each target
+  // block skips self-pairs within its own source block only.
+  const std::size_t cuts[4] = {0, 20, 45, 60};
+  std::vector<Vec3> acc2(n);
+  for (int b = 0; b < 3; ++b) {
+    const std::size_t lo = cuts[b];
+    const std::size_t len = cuts[b + 1] - lo;
+    // Targets inside the block use skip_offset; targets outside do not.
+    accumulate_accelerations({pos.data() + lo, len}, {pos.data() + lo, len},
+                             {mass.data() + lo, len}, soft, 0,
+                             {acc2.data() + lo, len});
+    for (int ob = 0; ob < 3; ++ob) {
+      if (ob == b) continue;
+      const std::size_t olo = cuts[ob];
+      const std::size_t olen = cuts[ob + 1] - olo;
+      accumulate_accelerations({pos.data() + olo, olen}, {pos.data() + lo, len},
+                               {mass.data() + lo, len}, soft,
+                               std::numeric_limits<std::size_t>::max(),
+                               {acc2.data() + olo, olen});
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(acc2[i].x, expected[i].x, 1e-9 * (1.0 + std::fabs(expected[i].x)));
+    EXPECT_NEAR(acc2[i].y, expected[i].y, 1e-9 * (1.0 + std::fabs(expected[i].y)));
+    EXPECT_NEAR(acc2[i].z, expected[i].z, 1e-9 * (1.0 + std::fabs(expected[i].z)));
+  }
+}
+
+TEST(EulerStep, KicksThenDriftsWithNewVelocity) {
+  std::vector<Vec3> pos{{0, 0, 0}};
+  std::vector<Vec3> vel{{1, 0, 0}};
+  std::vector<Vec3> acc{{0, 2, 0}};
+  euler_step(pos, vel, acc, 0.5);
+  EXPECT_DOUBLE_EQ(vel[0].y, 1.0);  // kicked first
+  EXPECT_DOUBLE_EQ(pos[0].x, 0.5);
+  EXPECT_DOUBLE_EQ(pos[0].y, 0.5);  // drifted with the *kicked* velocity
+}
+
+TEST(EulerStep, SpeculationErrorIsOrderDtSquared) {
+  // The paper's eq. 10 predicts r* = r + v_old dt; the true update drifts
+  // with the kicked velocity, so the position error is exactly a dt^2.
+  std::vector<Vec3> pos{{1, 0, 0}};
+  std::vector<Vec3> vel{{0.5, 0, 0}};
+  std::vector<Vec3> acc{{3, 0, 0}};
+  const double dt = 0.01;
+  const Vec3 speculated = pos[0] + dt * vel[0];
+  euler_step(pos, vel, acc, dt);
+  EXPECT_NEAR((pos[0] - speculated).norm(), 3.0 * dt * dt, 1e-15);
+}
+
+TEST(Leapfrog, ConservesEnergyBetterThanEuler) {
+  auto particles_lf = init_plummer(40, 3);
+  auto particles_eu = particles_lf;
+  const double soft = 1e-3;
+  const double dt = 1e-3;
+
+  auto energy = [&](const std::vector<Particle>& particles) {
+    double kinetic = 0.0;
+    double potential = 0.0;
+    for (const auto& p : particles) kinetic += 0.5 * p.mass * p.vel.norm2();
+    for (std::size_t i = 0; i < particles.size(); ++i)
+      for (std::size_t j = i + 1; j < particles.size(); ++j)
+        potential -= particles[i].mass * particles[j].mass /
+                     std::sqrt((particles[i].pos - particles[j].pos).norm2() + soft);
+    return kinetic + potential;
+  };
+
+  const double e0 = energy(particles_lf);
+  for (int t = 0; t < 200; ++t) {
+    leapfrog_step(particles_lf, soft, dt);
+    const auto acc = all_accelerations(particles_eu, soft);
+    std::vector<Vec3> pos(particles_eu.size());
+    std::vector<Vec3> vel(particles_eu.size());
+    for (std::size_t i = 0; i < particles_eu.size(); ++i) {
+      pos[i] = particles_eu[i].pos;
+      vel[i] = particles_eu[i].vel;
+    }
+    euler_step(pos, vel, acc, dt);
+    for (std::size_t i = 0; i < particles_eu.size(); ++i) {
+      particles_eu[i].pos = pos[i];
+      particles_eu[i].vel = vel[i];
+    }
+  }
+  const double drift_lf = std::fabs(energy(particles_lf) - e0);
+  const double drift_eu = std::fabs(energy(particles_eu) - e0);
+  EXPECT_LT(drift_lf, drift_eu);
+}
+
+}  // namespace
+}  // namespace specomp::nbody

@@ -1,0 +1,108 @@
+#include "nbody/init.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace specomp::nbody {
+namespace {
+
+TEST(Init, DeterministicInSeed) {
+  const auto a = init_plummer(100, 42);
+  const auto b = init_plummer(100, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pos, b[i].pos);
+    EXPECT_EQ(a[i].vel, b[i].vel);
+  }
+}
+
+TEST(Init, DifferentSeedsDiffer) {
+  const auto a = init_plummer(50, 1);
+  const auto b = init_plummer(50, 2);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].pos == b[i].pos) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Init, RequestedCountProduced) {
+  for (std::size_t n : {1u, 10u, 333u}) {
+    EXPECT_EQ(init_uniform_cube(n, 9).size(), n);
+    EXPECT_EQ(init_plummer(n, 9).size(), n);
+    EXPECT_EQ(init_rotating_disk(n, 9).size(), n);
+  }
+}
+
+TEST(Init, TotalMassIsUnity) {
+  for (const auto& particles :
+       {init_uniform_cube(200, 5), init_plummer(200, 5),
+        init_rotating_disk(200, 5)}) {
+    double mass = 0.0;
+    for (const auto& p : particles) mass += p.mass;
+    EXPECT_NEAR(mass, 1.0, 1e-12);
+  }
+}
+
+TEST(Init, ZeroNetMomentum) {
+  for (const auto& particles :
+       {init_uniform_cube(200, 6), init_plummer(200, 6),
+        init_rotating_disk(200, 6)}) {
+    Vec3 momentum;
+    for (const auto& p : particles) momentum += p.mass * p.vel;
+    EXPECT_NEAR(momentum.norm(), 0.0, 1e-12);
+  }
+}
+
+TEST(Init, UniformCubeInsideBox) {
+  for (const auto& p : init_uniform_cube(500, 3)) {
+    EXPECT_LE(std::fabs(p.pos.x), 1.0);
+    EXPECT_LE(std::fabs(p.pos.y), 1.0);
+    EXPECT_LE(std::fabs(p.pos.z), 1.0);
+  }
+}
+
+TEST(Init, PlummerRadiiTruncated) {
+  for (const auto& p : init_plummer(500, 4)) EXPECT_LT(p.pos.norm(), 10.0);
+}
+
+TEST(Init, PlummerRoughVirialBalance) {
+  // 2K/|U| should be order 1 for a near-equilibrium sphere.
+  const auto particles = init_plummer(400, 8);
+  double kinetic = 0.0;
+  for (const auto& p : particles) kinetic += 0.5 * p.mass * p.vel.norm2();
+  double potential = 0.0;
+  for (std::size_t i = 0; i < particles.size(); ++i)
+    for (std::size_t j = i + 1; j < particles.size(); ++j)
+      potential -= particles[i].mass * particles[j].mass /
+                   (particles[i].pos - particles[j].pos).norm();
+  const double virial = 2.0 * kinetic / std::fabs(potential);
+  EXPECT_GT(virial, 0.3);
+  EXPECT_LT(virial, 1.7);
+}
+
+TEST(Init, DiskIsThinAndRotating) {
+  const auto particles = init_rotating_disk(300, 10);
+  double z_extent = 0.0;
+  double l_z = 0.0;
+  for (const auto& p : particles) {
+    z_extent = std::max(z_extent, std::fabs(p.pos.z));
+    l_z += p.mass * (p.pos.x * p.vel.y - p.pos.y * p.vel.x);
+  }
+  EXPECT_LT(z_extent, 0.5);
+  EXPECT_GT(l_z, 0.1);  // coherent rotation
+}
+
+TEST(Init, ConfigDispatch) {
+  NBodyConfig config;
+  config.n = 20;
+  config.init = InitKind::UniformCube;
+  EXPECT_EQ(make_initial_conditions(config).size(), 20u);
+  config.init = InitKind::Plummer;
+  EXPECT_EQ(make_initial_conditions(config).size(), 20u);
+  config.init = InitKind::RotatingDisk;
+  EXPECT_EQ(make_initial_conditions(config).size(), 20u);
+}
+
+}  // namespace
+}  // namespace specomp::nbody

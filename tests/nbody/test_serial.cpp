@@ -1,0 +1,55 @@
+#include "nbody/serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbody/forces.hpp"
+#include "nbody/init.hpp"
+
+namespace specomp::nbody {
+namespace {
+
+TEST(Serial, SingleStepMatchesManualEuler) {
+  std::vector<Particle> two(2);
+  two[0] = {1.0, {0, 0, 0}, {0.5, 0, 0}};
+  two[1] = {1.0, {2, 0, 0}, {-0.5, 0, 0}};
+  const double dt = 0.1;
+  // Manual: acc on particle 0 = +1/4 x, on particle 1 = -1/4 x; the
+  // integrator kicks velocity first, then drifts with the new velocity.
+  std::vector<Particle> expected = two;
+  expected[0].vel += dt * Vec3{0.25, 0, 0};
+  expected[1].vel += dt * Vec3{-0.25, 0, 0};
+  expected[0].pos += dt * expected[0].vel;
+  expected[1].pos += dt * expected[1].vel;
+
+  serial_step(two, 0.0, dt);
+  EXPECT_DOUBLE_EQ(two[0].pos.x, expected[0].pos.x);
+  EXPECT_DOUBLE_EQ(two[1].pos.x, expected[1].pos.x);
+  EXPECT_DOUBLE_EQ(two[0].vel.x, expected[0].vel.x);
+  EXPECT_DOUBLE_EQ(two[1].vel.x, expected[1].vel.x);
+}
+
+TEST(Serial, RunAppliesRequestedIterations) {
+  NBodyConfig config;
+  config.n = 10;
+  config.dt = 1e-3;
+  auto particles = init_uniform_cube(config.n, 5);
+  auto once = particles;
+  serial_step(once, config.softening2, config.dt);
+  serial_step(once, config.softening2, config.dt);
+  const auto twice = run_serial(particles, config, 2);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    EXPECT_EQ(twice[i].pos, once[i].pos);
+    EXPECT_EQ(twice[i].vel, once[i].vel);
+  }
+}
+
+TEST(Serial, IsolatedParticleMovesInertially) {
+  std::vector<Particle> one(1);
+  one[0] = {1.0, {0, 0, 0}, {1, 2, 3}};
+  serial_step(one, 0.0, 0.5);
+  EXPECT_EQ(one[0].pos, (Vec3{0.5, 1.0, 1.5}));
+  EXPECT_EQ(one[0].vel, (Vec3{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace specomp::nbody

@@ -1,0 +1,136 @@
+#include "net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace specomp::net {
+namespace {
+
+using des::SimTime;
+
+ChannelConfig quiet_config() {
+  ChannelConfig config;
+  config.bandwidth_bytes_per_sec = 1000.0;  // 1 KB/s: easy arithmetic
+  config.per_message_overhead_bytes = 0;
+  config.propagation = SimTime::zero();
+  config.extra_delay = nullptr;
+  return config;
+}
+
+Message make_message(Rank src, Rank dst, std::size_t bytes) {
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.tag = 1;
+  msg.payload.resize(bytes);
+  return msg;
+}
+
+TEST(SharedMedium, TransmissionTimeFromBandwidth) {
+  SharedMediumChannel channel(quiet_config());
+  const SimTime t = channel.post(make_message(0, 1, 500), SimTime::zero());
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 0.5);
+}
+
+TEST(SharedMedium, ContentionSerialisesSenders) {
+  SharedMediumChannel channel(quiet_config());
+  const SimTime t1 = channel.post(make_message(0, 1, 1000), SimTime::zero());
+  const SimTime t2 = channel.post(make_message(2, 3, 1000), SimTime::zero());
+  EXPECT_DOUBLE_EQ(t1.to_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(t2.to_seconds(), 2.0);  // waited for the wire
+  EXPECT_EQ(channel.stats().messages, 2u);
+  EXPECT_EQ(channel.stats().bytes, 2000u);
+}
+
+TEST(SharedMedium, AllToAllCostGrowsLinearlyWithRanks) {
+  // Total medium busy time for an all-to-all of fixed per-rank payload is
+  // proportional to p(p-1) messages of size N/p, i.e. ~(p-1)*N bytes: the
+  // linear t_comm(p) the paper's model assumes.
+  auto total_busy = [&](int p) {
+    SharedMediumChannel channel(quiet_config());
+    const std::size_t per_rank = 1200 / static_cast<std::size_t>(p);
+    SimTime last = SimTime::zero();
+    for (Rank s = 0; s < p; ++s)
+      for (Rank d = 0; d < p; ++d)
+        if (s != d) last = channel.post(make_message(s, d, per_rank), SimTime::zero());
+    return last.to_seconds();
+  };
+  const double t4 = total_busy(4);
+  const double t8 = total_busy(8);
+  const double t16 = total_busy(16);
+  EXPECT_NEAR((t8 - t4) / 4.0, (t16 - t8) / 8.0, 0.15 * (t16 - t8) / 8.0);
+  EXPECT_GT(t8, t4);
+  EXPECT_GT(t16, t8);
+}
+
+TEST(SharedMedium, BackgroundLoadShrinksBandwidth) {
+  ChannelConfig config = quiet_config();
+  config.background_load = 0.5;
+  SharedMediumChannel channel(config);
+  const SimTime t = channel.post(make_message(0, 1, 500), SimTime::zero());
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 1.0);  // half the effective bandwidth
+}
+
+TEST(SharedMedium, OverheadBytesCounted) {
+  ChannelConfig config = quiet_config();
+  config.per_message_overhead_bytes = 100;
+  SharedMediumChannel channel(config);
+  const SimTime t = channel.post(make_message(0, 1, 400), SimTime::zero());
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 0.5);
+}
+
+TEST(SharedMedium, PropagationAdds) {
+  ChannelConfig config = quiet_config();
+  config.propagation = SimTime::seconds(2);
+  SharedMediumChannel channel(config);
+  const SimTime t = channel.post(make_message(0, 1, 1000), SimTime::zero());
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 3.0);
+}
+
+TEST(SharedMedium, DeterministicForSeed) {
+  ChannelConfig config = quiet_config();
+  config.extra_delay = std::make_shared<ExponentialJitter>(SimTime::millis(3));
+  config.seed = 99;
+  SharedMediumChannel a(config);
+  SharedMediumChannel b(config);
+  for (int i = 0; i < 50; ++i) {
+    const SimTime ta = a.post(make_message(0, 1, 100), SimTime::seconds(i));
+    const SimTime tb = b.post(make_message(0, 1, 100), SimTime::seconds(i));
+    EXPECT_DOUBLE_EQ(ta.to_seconds(), tb.to_seconds());
+  }
+}
+
+TEST(PointToPoint, IndependentLinksDoNotContend) {
+  PointToPointNetwork network(quiet_config(), 4);
+  const SimTime t1 = network.post(make_message(0, 1, 1000), SimTime::zero());
+  const SimTime t2 = network.post(make_message(2, 3, 1000), SimTime::zero());
+  EXPECT_DOUBLE_EQ(t1.to_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(t2.to_seconds(), 1.0);  // parallel links
+}
+
+TEST(PointToPoint, SameLinkSerialises) {
+  PointToPointNetwork network(quiet_config(), 2);
+  const SimTime t1 = network.post(make_message(0, 1, 1000), SimTime::zero());
+  const SimTime t2 = network.post(make_message(0, 1, 1000), SimTime::zero());
+  EXPECT_DOUBLE_EQ(t1.to_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(t2.to_seconds(), 2.0);
+}
+
+TEST(PointToPoint, OppositeDirectionsIndependent) {
+  PointToPointNetwork network(quiet_config(), 2);
+  const SimTime t1 = network.post(make_message(0, 1, 1000), SimTime::zero());
+  const SimTime t2 = network.post(make_message(1, 0, 1000), SimTime::zero());
+  EXPECT_DOUBLE_EQ(t1.to_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(t2.to_seconds(), 1.0);  // full duplex
+}
+
+TEST(ChannelStats, DelayDistributionRecorded) {
+  SharedMediumChannel channel(quiet_config());
+  channel.post(make_message(0, 1, 1000), SimTime::zero());
+  channel.post(make_message(1, 0, 1000), SimTime::zero());
+  EXPECT_EQ(channel.stats().delay_seconds.count(), 2u);
+  EXPECT_DOUBLE_EQ(channel.stats().delay_seconds.min(), 1.0);
+  EXPECT_DOUBLE_EQ(channel.stats().delay_seconds.max(), 2.0);
+}
+
+}  // namespace
+}  // namespace specomp::net

@@ -1,0 +1,92 @@
+#include "net/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace specomp::net {
+namespace {
+
+using des::SimTime;
+
+TEST(ConstantLatency, AlwaysSameValue) {
+  ConstantLatency model(SimTime::millis(5));
+  support::Xoshiro256 rng(1);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(
+        model.delay(0, 1, 100, SimTime::seconds(i), rng).to_seconds(), 0.005);
+}
+
+TEST(UniformJitter, WithinBounds) {
+  UniformJitter model(SimTime::millis(10));
+  support::Xoshiro256 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = model.delay(0, 1, 0, SimTime::zero(), rng).to_seconds();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 0.010);
+  }
+}
+
+TEST(ExponentialJitter, MeanApproximatelyCorrect) {
+  ExponentialJitter model(SimTime::millis(4));
+  support::Xoshiro256 rng(3);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    sum += model.delay(0, 1, 0, SimTime::zero(), rng).to_seconds();
+  EXPECT_NEAR(sum / n, 0.004, 0.0002);
+}
+
+TEST(RandomSpike, FrequencyMatchesProbability) {
+  RandomSpike model(0.25, SimTime::seconds(1));
+  support::Xoshiro256 rng(4);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double d = model.delay(0, 1, 0, SimTime::zero(), rng).to_seconds();
+    if (d > 0.0) {
+      EXPECT_DOUBLE_EQ(d, 1.0);
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(TransientSpike, AppliesOnlyInWindowAndPath) {
+  TransientSpike model({SpikeRule{/*src=*/0, /*dst=*/1,
+                                  /*window_begin=*/SimTime::seconds(10),
+                                  /*window_end=*/SimTime::seconds(20),
+                                  /*extra=*/SimTime::seconds(5)}});
+  support::Xoshiro256 rng(5);
+  // Inside the window on the matching path.
+  EXPECT_DOUBLE_EQ(
+      model.delay(0, 1, 0, SimTime::seconds(15), rng).to_seconds(), 5.0);
+  // Window boundaries: inclusive start, exclusive end.
+  EXPECT_DOUBLE_EQ(
+      model.delay(0, 1, 0, SimTime::seconds(10), rng).to_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(
+      model.delay(0, 1, 0, SimTime::seconds(20), rng).to_seconds(), 0.0);
+  // Different path.
+  EXPECT_DOUBLE_EQ(
+      model.delay(1, 0, 0, SimTime::seconds(15), rng).to_seconds(), 0.0);
+}
+
+TEST(TransientSpike, WildcardMatchesAnyRank) {
+  TransientSpike model({SpikeRule{-1, -1, SimTime::zero(), SimTime::seconds(1),
+                                  SimTime::seconds(2)}});
+  support::Xoshiro256 rng(6);
+  EXPECT_DOUBLE_EQ(
+      model.delay(7, 3, 0, SimTime::seconds(0.5), rng).to_seconds(), 2.0);
+}
+
+TEST(CompositeLatency, SumsParts) {
+  CompositeLatency model;
+  model.add(std::make_unique<ConstantLatency>(SimTime::millis(1)));
+  model.add(std::make_unique<ConstantLatency>(SimTime::millis(2)));
+  support::Xoshiro256 rng(7);
+  EXPECT_DOUBLE_EQ(model.delay(0, 1, 0, SimTime::zero(), rng).to_seconds(),
+                   0.003);
+}
+
+}  // namespace
+}  // namespace specomp::net

@@ -1,0 +1,82 @@
+#include "net/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace specomp::net {
+namespace {
+
+TEST(Serialization, PodRoundTrip) {
+  ByteWriter w;
+  w.write<std::int32_t>(-7);
+  w.write<double>(3.25);
+  w.write<std::uint64_t>(1ull << 60);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read<std::int32_t>(), -7);
+  EXPECT_DOUBLE_EQ(r.read<double>(), 3.25);
+  EXPECT_EQ(r.read<std::uint64_t>(), 1ull << 60);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialization, VectorRoundTrip) {
+  ByteWriter w;
+  const std::vector<double> values{1.0, -2.5, 1e-300, 1e300};
+  w.write_vector(values);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_vector<double>(), values);
+}
+
+TEST(Serialization, EmptyVector) {
+  ByteWriter w;
+  w.write_vector(std::vector<double>{});
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.read_vector<double>().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialization, MixedPayload) {
+  ByteWriter w;
+  w.write<int>(5);
+  w.write_vector(std::vector<float>{1.5f, 2.5f});
+  w.write<char>('x');
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read<int>(), 5);
+  EXPECT_EQ(r.read_vector<float>(), (std::vector<float>{1.5f, 2.5f}));
+  EXPECT_EQ(r.read<char>(), 'x');
+}
+
+TEST(Serialization, SizeTracksPayload) {
+  ByteWriter w;
+  EXPECT_EQ(w.size(), 0u);
+  w.write<double>(1.0);
+  EXPECT_EQ(w.size(), sizeof(double));
+  w.write_vector(std::vector<double>(10, 0.0));
+  EXPECT_EQ(w.size(), sizeof(double) + sizeof(std::uint64_t) + 10 * sizeof(double));
+}
+
+TEST(Serialization, TakeMovesBuffer) {
+  ByteWriter w;
+  w.write<int>(1);
+  const std::vector<std::byte> bytes = std::move(w).take();
+  EXPECT_EQ(bytes.size(), sizeof(int));
+}
+
+TEST(SerializationDeath, ReadPastEndAborts) {
+  ByteWriter w;
+  w.write<std::int16_t>(1);
+  ByteReader r(w.bytes());
+  (void)r.read<std::int16_t>();
+  EXPECT_DEATH((void)r.read<std::int16_t>(), "Precondition");
+}
+
+TEST(SerializationDeath, CorruptLengthAborts) {
+  ByteWriter w;
+  w.write<std::uint64_t>(1000000);  // claims 1e6 doubles follow
+  ByteReader r(w.bytes());
+  EXPECT_DEATH((void)r.read_vector<double>(), "Precondition");
+}
+
+}  // namespace
+}  // namespace specomp::net

@@ -1,0 +1,106 @@
+// Property sweep over the N-body case study: physics invariants must hold
+// for every initial-condition family, rank count and forward window.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "nbody/energy.hpp"
+#include "nbody/init.hpp"
+#include "nbody/scenario.hpp"
+#include "nbody/serial.hpp"
+
+namespace specomp::nbody {
+namespace {
+
+class NBodySweep
+    : public ::testing::TestWithParam<std::tuple<InitKind, std::size_t, int>> {
+ protected:
+  NBodyScenario scenario() const {
+    const auto& [init, ranks, fw] = GetParam();
+    NBodyScenario s;
+    s.body.n = 60;
+    s.body.dt = 5e-4;
+    s.body.softening2 = 1e-3;
+    s.body.init = init;
+    s.body.seed = 1234;
+    s.iterations = 12;
+    s.algorithm = fw == 0 ? Algorithm::Fig7Baseline : Algorithm::Speculative;
+    s.forward_window = fw;
+    s.theta = 0.01;
+    s.sim.cluster = runtime::Cluster::linear(ranks, 1e6, 3.0);
+    s.sim.channel.bandwidth_bytes_per_sec = 1e5;
+    s.sim.channel.extra_delay =
+        std::make_shared<net::ExponentialJitter>(des::SimTime::millis(5));
+    s.sim.send_sw_time = des::SimTime::micros(100);
+    return s;
+  }
+};
+
+TEST_P(NBodySweep, MomentumConservedWithinTheta) {
+  const NBodyScenario s = scenario();
+  const NBodyRunResult run = run_scenario(s);
+  Vec3 momentum;
+  for (const auto& particle : run.final_particles)
+    momentum += particle.mass * particle.vel;
+  // Accepted speculation breaks Newton's third law by O(theta) per pair —
+  // rank A attracts toward B's *speculated* position while B reacts to A's
+  // actual one — so momentum drift is zero only without speculation and
+  // theta-bounded with it.
+  EXPECT_NEAR(momentum.norm(), 0.0,
+              std::get<2>(GetParam()) == 0 ? 1e-10 : 1e-5);
+}
+
+TEST_P(NBodySweep, EnergyDriftBounded) {
+  const NBodyScenario s = scenario();
+  const auto initial = make_initial_conditions(s.body);
+  const double e0 = compute_diagnostics(initial, s.body.softening2).total_energy();
+  const NBodyRunResult run = run_scenario(s);
+  const double e1 =
+      compute_diagnostics(run.final_particles, s.body.softening2).total_energy();
+  EXPECT_LT(std::fabs(e1 - e0) / std::fabs(e0), 0.05);
+}
+
+TEST_P(NBodySweep, TrajectoryTracksSerialReference) {
+  const NBodyScenario s = scenario();
+  const NBodyRunResult run = run_scenario(s);
+  const auto serial =
+      run_serial(make_initial_conditions(s.body), s.body, s.iterations);
+  ASSERT_EQ(run.final_particles.size(), serial.size());
+  double rms = 0.0;
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    rms += (run.final_particles[i].pos - serial[i].pos).norm2();
+  rms = std::sqrt(rms / static_cast<double>(serial.size()));
+  // Accepted speculation errors are bounded by theta; without speculation
+  // the match is to rounding.
+  EXPECT_LT(rms, std::get<2>(GetParam()) == 0 ? 1e-10 : 2e-3);
+}
+
+TEST_P(NBodySweep, ParticleCountPreserved) {
+  const NBodyScenario s = scenario();
+  const NBodyRunResult run = run_scenario(s);
+  EXPECT_EQ(run.final_particles.size(), s.body.n);
+  double mass = 0.0;
+  for (const auto& particle : run.final_particles) mass += particle.mass;
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NBodySweep,
+    ::testing::Combine(::testing::Values(InitKind::UniformCube,
+                                         InitKind::Plummer,
+                                         InitKind::RotatingDisk),
+                       ::testing::Values(std::size_t{2}, std::size_t{5}),
+                       ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<NBodySweep::ParamType>& info) {
+      const InitKind init = std::get<0>(info.param);
+      const char* init_name = init == InitKind::UniformCube ? "cube"
+                              : init == InitKind::Plummer   ? "plummer"
+                                                            : "disk";
+      return std::string(init_name) + "_p" +
+             std::to_string(std::get<1>(info.param)) + "_fw" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace specomp::nbody

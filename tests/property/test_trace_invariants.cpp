@@ -1,0 +1,102 @@
+// Trace invariants: when recording is enabled, the per-rank span streams
+// must be well-formed (time-ordered, non-overlapping, within the makespan)
+// for any engine configuration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "runtime/sim_comm.hpp"
+#include "spec/engine.hpp"
+#include "spec/toy_app.hpp"
+
+namespace specomp::des {
+namespace {
+
+using runtime::Cluster;
+using runtime::Communicator;
+using spec::testing::ToyApp;
+
+runtime::SimResult traced_run(int fw, double theta) {
+  runtime::SimConfig config;
+  config.cluster = Cluster::linear(3, 5e4, 2.0);
+  config.channel.propagation = SimTime::millis(100);
+  config.record_trace = true;
+  return runtime::run_simulated(config, [&](Communicator& comm) {
+    ToyApp app(comm.rank(), 3, 0.01, 0.3);
+    spec::EngineConfig engine_config;
+    engine_config.forward_window = fw;
+    engine_config.threshold = theta;
+    if (fw > 0) engine_config.speculator = spec::make_speculator("linear");
+    spec::SpecEngine engine(comm, app, engine_config,
+                            ToyApp::initial_blocks(3));
+    engine.run(8);
+  });
+}
+
+class TraceInvariants : public ::testing::TestWithParam<std::pair<int, double>> {};
+
+TEST_P(TraceInvariants, SpansWellFormedPerLane) {
+  const auto [fw, theta] = GetParam();
+  const runtime::SimResult result = traced_run(fw, theta);
+  ASSERT_FALSE(result.trace.spans().empty());
+
+  std::map<std::uint64_t, std::vector<Span>> lanes;
+  for (const auto& span : result.trace.spans()) {
+    EXPECT_GE(span.end, span.begin);
+    EXPECT_LE(span.end.to_seconds(), result.makespan_seconds + 1e-9);
+    lanes[span.lane].push_back(span);
+  }
+  EXPECT_EQ(lanes.size(), 3u);
+  for (auto& [lane, spans] : lanes) {
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.begin < b.begin; });
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].begin, spans[i - 1].end)
+          << "overlapping spans on lane " << lane;
+    }
+  }
+}
+
+TEST_P(TraceInvariants, TracedTimeMatchesPhaseTimers) {
+  const auto [fw, theta] = GetParam();
+  const runtime::SimResult result = traced_run(fw, theta);
+  // The total traced busy+wait time per lane equals the per-rank timer sum
+  // (all phases are traced).
+  std::map<std::uint64_t, double> traced;
+  for (const auto& span : result.trace.spans())
+    traced[span.lane] += (span.end - span.begin).to_seconds();
+  for (std::size_t r = 0; r < result.timers.size(); ++r) {
+    EXPECT_NEAR(traced[r], result.timers[r].total().to_seconds(), 1e-9)
+        << "rank " << r;
+  }
+}
+
+TEST_P(TraceInvariants, SpeculativeComputeMarkedOnlyWithSpeculation) {
+  const auto [fw, theta] = GetParam();
+  const runtime::SimResult result = traced_run(fw, theta);
+  bool any_speculative = false;
+  for (const auto& span : result.trace.spans())
+    if (span.kind == SpanKind::SpeculativeCompute) any_speculative = true;
+  if (fw == 0) {
+    EXPECT_FALSE(any_speculative);
+  } else {
+    EXPECT_TRUE(any_speculative);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TraceInvariants,
+                         ::testing::Values(std::make_pair(0, 0.01),
+                                           std::make_pair(1, 1e9),
+                                           std::make_pair(1, 0.0),
+                                           std::make_pair(2, 1e-3)),
+                         [](const auto& info) {
+                           return "fw" + std::to_string(info.param.first) +
+                                  (info.param.second == 0.0     ? "_strict"
+                                   : info.param.second >= 1.0 ? "_lenient"
+                                                               : "_tight");
+                         });
+
+}  // namespace
+}  // namespace specomp::des

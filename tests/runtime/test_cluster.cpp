@@ -1,0 +1,104 @@
+#include "runtime/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace specomp::runtime {
+namespace {
+
+TEST(Cluster, HomogeneousFactory) {
+  const Cluster c = Cluster::homogeneous(4, 1e6);
+  EXPECT_EQ(c.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(c.machine(i).ops_per_sec, 1e6);
+  EXPECT_DOUBLE_EQ(c.max_speedup(), 4.0);
+}
+
+TEST(Cluster, LinearFactoryEndpoints) {
+  const Cluster c = Cluster::linear(16, 120.0, 10.0);
+  EXPECT_DOUBLE_EQ(c.machine(0).ops_per_sec, 120.0);
+  EXPECT_DOUBLE_EQ(c.machine(15).ops_per_sec, 12.0);
+  // Monotone nonincreasing.
+  for (std::size_t i = 1; i < 16; ++i)
+    EXPECT_LE(c.machine(i).ops_per_sec, c.machine(i - 1).ops_per_sec);
+}
+
+TEST(Cluster, LinearSingleMachine) {
+  const Cluster c = Cluster::linear(1, 100.0, 10.0);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.machine(0).ops_per_sec, 100.0);
+}
+
+TEST(Cluster, PaperFleetMatchesPaperModel) {
+  const Cluster c = Cluster::paper_fleet();
+  EXPECT_EQ(c.size(), 16u);
+  EXPECT_NEAR(c.machine(0).ops_per_sec / c.machine(15).ops_per_sec, 10.0, 1e-9);
+  // The paper: "maximum speedup reflects computing power of the p-processor
+  // set relative to P1" — for the 16-machine 10:1 linear fleet this is 8.8.
+  EXPECT_NEAR(c.max_speedup(), 8.8, 1e-9);
+}
+
+TEST(Cluster, PrefixTakesFastest) {
+  const Cluster c = Cluster::linear(8, 80.0, 8.0);
+  const Cluster head = c.prefix(3);
+  EXPECT_EQ(head.size(), 3u);
+  EXPECT_DOUBLE_EQ(head.machine(0).ops_per_sec, c.machine(0).ops_per_sec);
+  EXPECT_DOUBLE_EQ(head.machine(2).ops_per_sec, c.machine(2).ops_per_sec);
+}
+
+TEST(Cluster, PartitionSumsToTotal) {
+  const Cluster c = Cluster::linear(7, 100.0, 5.0);
+  const auto counts = c.proportional_partition(1000);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::size_t{0}),
+            1000u);
+}
+
+TEST(Cluster, PartitionProportionalToCapacity) {
+  const Cluster c = Cluster::linear(4, 400.0, 4.0);  // 400, 300, 200, 100
+  const auto counts = c.proportional_partition(1000);
+  EXPECT_EQ(counts[0], 400u);
+  EXPECT_EQ(counts[1], 300u);
+  EXPECT_EQ(counts[2], 200u);
+  EXPECT_EQ(counts[3], 100u);
+}
+
+TEST(Cluster, PartitionBalancesComputeTime) {
+  // N_i / M_i should be (nearly) equal: the ideal-balance condition (eq. 4).
+  const Cluster c = Cluster::linear(16, 12e6, 10.0);
+  const auto counts = c.proportional_partition(1000);
+  double lo = 1e300;
+  double hi = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double ratio =
+        static_cast<double>(counts[i]) / c.machine(i).ops_per_sec;
+    lo = std::min(lo, ratio);
+    hi = std::max(hi, ratio);
+  }
+  EXPECT_LT((hi - lo) / hi, 0.1);  // within rounding of one particle
+}
+
+TEST(Cluster, PartitionHandlesFewItems) {
+  const Cluster c = Cluster::linear(4, 400.0, 4.0);
+  const auto counts = c.proportional_partition(2);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::size_t{0}), 2u);
+  // Fastest machines get the scarce items.
+  EXPECT_GE(counts[0], counts[3]);
+}
+
+TEST(Cluster, PartitionSingleMachineGetsAll) {
+  const Cluster c = Cluster::homogeneous(1, 5.0);
+  EXPECT_EQ(c.proportional_partition(123)[0], 123u);
+}
+
+TEST(Cluster, TotalOps) {
+  const Cluster c = Cluster::linear(4, 400.0, 4.0);
+  EXPECT_DOUBLE_EQ(c.total_ops_per_sec(), 1000.0);
+}
+
+TEST(ClusterDeath, UnorderedMachinesAbort) {
+  EXPECT_DEATH(Cluster({{"slow", 1.0}, {"fast", 2.0}}), "Precondition");
+}
+
+}  // namespace
+}  // namespace specomp::runtime

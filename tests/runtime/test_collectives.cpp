@@ -1,0 +1,100 @@
+#include "runtime/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/sim_comm.hpp"
+#include "runtime/thread_comm.hpp"
+
+namespace specomp::runtime {
+namespace {
+
+SimConfig sim_config(std::size_t p) {
+  SimConfig config;
+  config.cluster = Cluster::linear(p, 1e6, 2.0);
+  config.send_sw_time = des::SimTime::micros(10);
+  return config;
+}
+
+TEST(Collectives, GatherCollectsAllBlocksAtRoot) {
+  std::vector<std::vector<double>> at_root;
+  run_simulated(sim_config(5), [&](Communicator& comm) {
+    const std::vector<double> mine{static_cast<double>(comm.rank()),
+                                   static_cast<double>(comm.rank()) * 10};
+    auto blocks = gather(comm, /*root=*/2, mine, 50);
+    if (comm.rank() == 2) at_root = std::move(blocks);
+    else EXPECT_TRUE(blocks.empty());
+  });
+  ASSERT_EQ(at_root.size(), 5u);
+  for (int r = 0; r < 5; ++r) {
+    ASSERT_EQ(at_root[static_cast<std::size_t>(r)].size(), 2u);
+    EXPECT_DOUBLE_EQ(at_root[static_cast<std::size_t>(r)][0], r);
+    EXPECT_DOUBLE_EQ(at_root[static_cast<std::size_t>(r)][1], r * 10.0);
+  }
+}
+
+TEST(Collectives, BroadcastReachesEveryRank) {
+  std::vector<std::vector<double>> received(4);
+  run_simulated(sim_config(4), [&](Communicator& comm) {
+    std::vector<double> data;
+    if (comm.rank() == 0) data = {3.0, 1.0, 4.0};
+    broadcast(comm, 0, data, 60);
+    received[static_cast<std::size_t>(comm.rank())] = data;
+  });
+  for (const auto& data : received)
+    EXPECT_EQ(data, (std::vector<double>{3.0, 1.0, 4.0}));
+}
+
+TEST(Collectives, AllreduceSum) {
+  std::vector<double> results(6);
+  run_simulated(sim_config(6), [&](Communicator& comm) {
+    results[static_cast<std::size_t>(comm.rank())] =
+        allreduce_sum(comm, static_cast<double>(comm.rank() + 1), 70);
+  });
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 21.0);  // 1+2+...+6
+}
+
+TEST(Collectives, AllreduceMax) {
+  std::vector<double> results(5);
+  run_simulated(sim_config(5), [&](Communicator& comm) {
+    const double mine = comm.rank() == 3 ? 99.5 : static_cast<double>(comm.rank());
+    results[static_cast<std::size_t>(comm.rank())] = allreduce_max(comm, mine, 80);
+  });
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 99.5);
+}
+
+TEST(Collectives, RepeatedReductionsKeepStreamsOrdered) {
+  std::vector<double> sums(3, 0.0);
+  run_simulated(sim_config(3), [&](Communicator& comm) {
+    double acc = 0.0;
+    for (int round = 0; round < 10; ++round)
+      acc += allreduce_sum(comm, static_cast<double>(round), 90);
+    sums[static_cast<std::size_t>(comm.rank())] = acc;
+  });
+  for (double s : sums) EXPECT_DOUBLE_EQ(s, 3.0 * 45.0);
+}
+
+TEST(Collectives, WorkOnThreadBackendToo) {
+  ThreadConfig config;
+  config.cluster = Cluster::homogeneous(4, 1e6);
+  std::vector<double> results(4);
+  run_threaded(config, [&](Communicator& comm) {
+    results[static_cast<std::size_t>(comm.rank())] =
+        allreduce_sum(comm, 2.5, 100);
+  });
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 10.0);
+}
+
+TEST(Collectives, SingleRankDegenerates) {
+  run_simulated(sim_config(1), [&](Communicator& comm) {
+    EXPECT_DOUBLE_EQ(allreduce_sum(comm, 7.0, 110), 7.0);
+    EXPECT_DOUBLE_EQ(allreduce_max(comm, -1.0, 112), -1.0);
+    std::vector<double> data{1.0};
+    broadcast(comm, 0, data, 114);
+    EXPECT_EQ(data, std::vector<double>{1.0});
+  });
+}
+
+}  // namespace
+}  // namespace specomp::runtime

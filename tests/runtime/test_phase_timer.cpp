@@ -1,0 +1,66 @@
+#include "runtime/phase_timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace specomp::runtime {
+namespace {
+
+using des::SimTime;
+
+TEST(PhaseTimer, AccumulatesPerPhase) {
+  PhaseTimer t;
+  t.add(Phase::Compute, SimTime::seconds(2));
+  t.add(Phase::Compute, SimTime::seconds(3));
+  t.add(Phase::Communicate, SimTime::seconds(1));
+  EXPECT_DOUBLE_EQ(t.get(Phase::Compute).to_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(t.get(Phase::Communicate).to_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(t.get(Phase::Speculate).to_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(t.total().to_seconds(), 6.0);
+}
+
+TEST(PhaseTimer, PerIterationAverage) {
+  PhaseTimer t;
+  t.add(Phase::Check, SimTime::seconds(6));
+  t.bump_iterations();
+  t.bump_iterations();
+  t.bump_iterations();
+  EXPECT_DOUBLE_EQ(t.per_iteration_seconds(Phase::Check), 2.0);
+  EXPECT_EQ(t.iterations(), 3u);
+}
+
+TEST(PhaseTimer, PerIterationZeroWithoutIterations) {
+  PhaseTimer t;
+  t.add(Phase::Compute, SimTime::seconds(5));
+  EXPECT_DOUBLE_EQ(t.per_iteration_seconds(Phase::Compute), 0.0);
+}
+
+TEST(PhaseTimer, MergeSums) {
+  PhaseTimer a;
+  PhaseTimer b;
+  a.add(Phase::Correct, SimTime::seconds(1));
+  b.add(Phase::Correct, SimTime::seconds(2));
+  b.bump_iterations();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.get(Phase::Correct).to_seconds(), 3.0);
+  EXPECT_EQ(a.iterations(), 1u);
+}
+
+TEST(PhaseTimer, ResetClears) {
+  PhaseTimer t;
+  t.add(Phase::Send, SimTime::seconds(1));
+  t.bump_iterations();
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.total().to_seconds(), 0.0);
+  EXPECT_EQ(t.iterations(), 0u);
+}
+
+TEST(PhaseTimer, AllPhasesNamed) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Phase::kCount); ++i) {
+    const char* name = phase_name(static_cast<Phase>(i));
+    EXPECT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?");
+  }
+}
+
+}  // namespace
+}  // namespace specomp::runtime

@@ -1,0 +1,173 @@
+#include "spec/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/sim_comm.hpp"
+#include "spec/engine.hpp"
+#include "toy_app.hpp"
+
+namespace specomp::spec {
+namespace {
+
+WindowFeedback feedback(int window, double wait, double compute,
+                        std::uint64_t speculated, std::uint64_t failures) {
+  WindowFeedback fb;
+  fb.current_window = window;
+  fb.wait_seconds = wait;
+  fb.compute_seconds = compute;
+  fb.speculated = speculated;
+  fb.failures = failures;
+  return fb;
+}
+
+TEST(AdaptivePolicy, GrowsOnWaits) {
+  AdaptiveWindowPolicy policy;
+  EXPECT_EQ(policy.initial_window(), 1);
+  // Half the iteration blocked: the smoothed ratio crosses the 5% threshold
+  // on the first observation.
+  EXPECT_EQ(policy.next_window(feedback(1, 0.5, 1.0, 4, 0)), 2);
+  EXPECT_EQ(policy.grow_events(), 1u);
+}
+
+TEST(AdaptivePolicy, ShrinksOnFailures) {
+  AdaptiveWindowPolicy policy;
+  EXPECT_EQ(policy.next_window(feedback(3, 0.0, 1.0, 10, 8)), 2);
+  EXPECT_EQ(policy.shrink_events(), 1u);
+}
+
+TEST(AdaptivePolicy, CooldownPreventsImmediateReadjustment) {
+  AdaptiveWindowConfig config;
+  config.cooldown = 2;
+  AdaptiveWindowPolicy policy(config);
+  EXPECT_EQ(policy.next_window(feedback(1, 0.5, 1.0, 4, 0)), 2);  // grow
+  EXPECT_EQ(policy.next_window(feedback(2, 0.5, 1.0, 4, 0)), 2);  // cooling
+  EXPECT_EQ(policy.next_window(feedback(2, 0.5, 1.0, 4, 0)), 2);  // cooling
+  EXPECT_EQ(policy.next_window(feedback(2, 0.5, 1.0, 4, 0)), 3);  // grow again
+  EXPECT_EQ(policy.grow_events(), 2u);
+}
+
+TEST(AdaptivePolicy, AlternatingWaitsStillGrow) {
+  // Once the window partially covers the latency, blocking alternates
+  // iterations; the EWMA must still accumulate and grow the window.
+  AdaptiveWindowConfig config;
+  config.cooldown = 0;
+  AdaptiveWindowPolicy policy(config);
+  int window = 2;
+  for (int i = 0; i < 6; ++i) {
+    const double wait = i % 2 == 0 ? 2.8 : 0.0;
+    window = policy.next_window(feedback(window, wait, 1.0, 4, 0));
+  }
+  EXPECT_GT(window, 2);
+}
+
+TEST(AdaptivePolicy, FailuresTrumpWaits) {
+  // Failing *and* waiting must not grow: deeper speculation while guesses
+  // are bad buys recomputation, not overlap.
+  AdaptiveWindowPolicy policy;
+  EXPECT_EQ(policy.next_window(feedback(2, 5.0, 1.0, 10, 9)), 1);
+}
+
+TEST(AdaptivePolicy, StableWhenHealthy) {
+  AdaptiveWindowPolicy policy;
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(policy.next_window(feedback(2, 0.0, 1.0, 10, 0)), 2);
+  EXPECT_EQ(policy.grow_events(), 0u);
+  EXPECT_EQ(policy.shrink_events(), 0u);
+}
+
+TEST(AdaptivePolicy, NeverGoesNegative) {
+  AdaptiveWindowConfig config;
+  config.cooldown = 0;
+  AdaptiveWindowPolicy policy(config);
+  int window = 1;
+  for (int i = 0; i < 5; ++i)
+    window = policy.next_window(feedback(window, 0.0, 1.0, 10, 10));
+  EXPECT_EQ(window, 0);
+}
+
+TEST(FixedPolicy, AlwaysTheSame) {
+  FixedWindowPolicy policy(3);
+  EXPECT_EQ(policy.initial_window(), 3);
+  EXPECT_EQ(policy.next_window(feedback(3, 100.0, 1.0, 10, 10)), 3);
+}
+
+// ---- Engine integration ----
+
+using runtime::Cluster;
+using runtime::Communicator;
+using testing::ToyApp;
+
+struct AdaptiveRun {
+  std::vector<SpecStats> stats;
+  std::vector<int> final_windows;
+  double makespan = 0.0;
+};
+
+AdaptiveRun run_adaptive(double latency_seconds, long iterations = 25) {
+  runtime::SimConfig config;
+  config.cluster = Cluster::homogeneous(3, 2e4);  // 5 ms compute/iter
+  config.channel.propagation = des::SimTime::seconds(latency_seconds);
+  config.send_sw_time = des::SimTime::zero();
+  AdaptiveRun out;
+  out.stats.resize(3);
+  out.final_windows.resize(3);
+  const runtime::SimResult result =
+      runtime::run_simulated(config, [&](Communicator& comm) {
+        ToyApp app(comm.rank(), 3, 0.0, 0.5);  // affine: linear spec exact
+        EngineConfig engine_config;
+        engine_config.window_policy = std::make_shared<AdaptiveWindowPolicy>();
+        engine_config.max_forward_window = 8;
+        engine_config.speculator = make_speculator("linear");
+        SpecEngine engine(comm, app, engine_config, ToyApp::initial_blocks(3));
+        out.stats[static_cast<std::size_t>(comm.rank())] = engine.run(iterations);
+        out.final_windows[static_cast<std::size_t>(comm.rank())] =
+            engine.current_window();
+      });
+  out.makespan = result.makespan_seconds;
+  return out;
+}
+
+TEST(AdaptiveEngine, WindowGrowsToCoverLatency) {
+  // Compute is 100 ops / 2e4 ops/s = 5 ms per iteration; a 25 ms message
+  // latency needs a window of ~5 to mask fully.  The controller should get
+  // there on its own.
+  const AdaptiveRun run = run_adaptive(/*latency_seconds=*/0.025);
+  for (const auto& st : run.stats) EXPECT_GE(st.max_window_used, 3);
+  // And the deep window must pay off against a fixed FW = 1 run.
+  runtime::SimConfig config;
+  config.cluster = Cluster::homogeneous(3, 2e4);
+  config.channel.propagation = des::SimTime::seconds(0.025);
+  config.send_sw_time = des::SimTime::zero();
+  double fixed_makespan = 0.0;
+  runtime::run_simulated(config, [&](Communicator& comm) {
+    ToyApp app(comm.rank(), 3, 0.0, 0.5);
+    EngineConfig engine_config;
+    engine_config.forward_window = 1;
+    engine_config.speculator = make_speculator("linear");
+    SpecEngine engine(comm, app, engine_config, ToyApp::initial_blocks(3));
+    engine.run(25);
+    fixed_makespan = std::max(fixed_makespan, comm.time_seconds());
+  });
+  EXPECT_LT(run.makespan, fixed_makespan);
+}
+
+TEST(AdaptiveEngine, WindowStaysShallowOnFastNetwork) {
+  const AdaptiveRun run = run_adaptive(/*latency_seconds=*/0.0001);
+  for (const auto& st : run.stats) EXPECT_LE(st.max_window_used, 2);
+}
+
+TEST(AdaptiveEngine, DeterministicLikeEverythingElse) {
+  const AdaptiveRun a = run_adaptive(0.025);
+  const AdaptiveRun b = run_adaptive(0.025);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.final_windows, b.final_windows);
+}
+
+TEST(AdaptiveEngine, StatsTrackWindowCeiling) {
+  const AdaptiveRun run = run_adaptive(0.025);
+  for (std::size_t r = 0; r < run.stats.size(); ++r)
+    EXPECT_GE(run.stats[r].max_window_used, run.final_windows[r] - 1);
+}
+
+}  // namespace
+}  // namespace specomp::spec

@@ -1,0 +1,63 @@
+#include "spec/history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace specomp::spec {
+namespace {
+
+TEST(History, StartsEmpty) {
+  History h(3);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.newest_iteration(), -1);
+  EXPECT_EQ(h.capacity(), 3u);
+}
+
+TEST(History, RecordsInOrder) {
+  History h(3);
+  h.record(0, std::vector<double>{1.0});
+  h.record(1, std::vector<double>{2.0});
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.newest_iteration(), 1);
+  EXPECT_EQ(h.back(0).block[0], 2.0);
+  EXPECT_EQ(h.back(1).block[0], 1.0);
+}
+
+TEST(History, DropsStaleAndDuplicateIterations) {
+  History h(3);
+  h.record(5, std::vector<double>{5.0});
+  h.record(3, std::vector<double>{3.0});  // older: dropped
+  h.record(5, std::vector<double>{9.0});  // duplicate: dropped
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.back(0).block[0], 5.0);
+}
+
+TEST(History, EvictsBeyondBackwardWindow) {
+  History h(2);
+  h.record(0, std::vector<double>{0.0});
+  h.record(1, std::vector<double>{1.0});
+  h.record(2, std::vector<double>{2.0});
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.back(0).iteration, 2);
+  EXPECT_EQ(h.back(1).iteration, 1);
+}
+
+TEST(History, GapsPreserved) {
+  History h(4);
+  h.record(1, std::vector<double>{1.0});
+  h.record(4, std::vector<double>{4.0});  // skipped 2, 3 (deep speculation)
+  EXPECT_EQ(h.back(0).iteration, 4);
+  EXPECT_EQ(h.back(1).iteration, 1);
+}
+
+TEST(History, ClearForgets) {
+  History h(2);
+  h.record(7, std::vector<double>{7.0});
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.newest_iteration(), -1);
+  h.record(2, std::vector<double>{2.0});  // lower than before clear: fine
+  EXPECT_EQ(h.newest_iteration(), 2);
+}
+
+}  // namespace
+}  // namespace specomp::spec

@@ -1,0 +1,67 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace specomp::support {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  const Cli cli = make({"--n", "1000"});
+  EXPECT_EQ(cli.get_int("n", 0), 1000);
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+  const Cli cli = make({"--theta=0.01"});
+  EXPECT_DOUBLE_EQ(cli.get_double("theta", 0.0), 0.01);
+}
+
+TEST(Cli, BooleanFlag) {
+  const Cli cli = make({"--verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.get_bool("quiet"));
+}
+
+TEST(Cli, BoolSpellings) {
+  EXPECT_TRUE(make({"--x=yes"}).get_bool("x"));
+  EXPECT_TRUE(make({"--x=on"}).get_bool("x"));
+  EXPECT_TRUE(make({"--x=1"}).get_bool("x"));
+  EXPECT_FALSE(make({"--x=banana"}).get_bool("x", true));
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const Cli cli = make({});
+  EXPECT_EQ(cli.get("name", "dflt"), "dflt");
+  EXPECT_EQ(cli.get_int("k", -7), -7);
+  EXPECT_DOUBLE_EQ(cli.get_double("d", 2.5), 2.5);
+}
+
+TEST(Cli, PositionalArguments) {
+  const Cli cli = make({"input.txt", "--n", "5", "output.txt"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.positional()[1], "output.txt");
+}
+
+TEST(Cli, UnusedReportsUnqueriedOptions) {
+  const Cli cli = make({"--used", "1", "--typo", "2"});
+  (void)cli.get_int("used", 0);
+  const auto unused = cli.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Cli, FlagFollowedByOption) {
+  const Cli cli = make({"--flag", "--n", "3"});
+  EXPECT_TRUE(cli.get_bool("flag"));
+  EXPECT_EQ(cli.get_int("n", 0), 3);
+}
+
+}  // namespace
+}  // namespace specomp::support

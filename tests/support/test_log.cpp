@@ -1,0 +1,49 @@
+#include "support/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace specomp::support {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsWarn) {
+  // The library must stay quiet at Info and below out of the box.
+  EXPECT_EQ(static_cast<int>(log_level()), static_cast<int>(LogLevel::Warn));
+}
+
+TEST(Log, SetAndGetRoundTrip) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(static_cast<int>(log_level()), static_cast<int>(LogLevel::Debug));
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(static_cast<int>(log_level()), static_cast<int>(LogLevel::Off));
+}
+
+TEST(Log, StreamMacroCompilesAndRespectsLevel) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  // Discarded without evaluating side effects of the sink itself.
+  SPEC_LOG_INFO << "this line must not appear " << 42;
+  SPEC_LOG_ERROR << "suppressed too at Off " << 3.14;
+  set_log_level(LogLevel::Error);
+  SPEC_LOG_WARN << "below threshold";
+  SUCCEED();
+}
+
+TEST(Log, LogLineDirectCall) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  log_line(LogLevel::Info, "suppressed");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace specomp::support

@@ -1,0 +1,76 @@
+#include "support/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace specomp::support {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 3u);
+  EXPECT_FALSE(rb.full());
+}
+
+TEST(RingBuffer, PushUntilFull) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_FALSE(rb.full());
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.back(0), 3);
+  EXPECT_EQ(rb.back(1), 2);
+  EXPECT_EQ(rb.back(2), 1);
+}
+
+TEST(RingBuffer, EvictsOldestWhenFull) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.back(0), 5);
+  EXPECT_EQ(rb.back(1), 4);
+  EXPECT_EQ(rb.back(2), 3);
+}
+
+TEST(RingBuffer, LongWrapAroundKeepsOrder) {
+  RingBuffer<int> rb(4);
+  for (int i = 0; i < 100; ++i) {
+    rb.push(i);
+    for (std::size_t age = 0; age < rb.size(); ++age)
+      EXPECT_EQ(rb.back(age), i - static_cast<int>(age));
+  }
+}
+
+TEST(RingBuffer, CapacityOne) {
+  RingBuffer<std::string> rb(1);
+  rb.push("a");
+  EXPECT_EQ(rb.back(0), "a");
+  rb.push("b");
+  EXPECT_EQ(rb.back(0), "b");
+  EXPECT_EQ(rb.size(), 1u);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.back(0), 9);
+}
+
+TEST(RingBufferDeath, BackOutOfRangeAborts) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  EXPECT_DEATH((void)rb.back(1), "Precondition");
+}
+
+}  // namespace
+}  // namespace specomp::support

@@ -1,0 +1,67 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace specomp::support {
+namespace {
+
+TEST(Table, MarkdownHasHeaderSeparatorAndRows) {
+  Table t({"p", "speedup"});
+  t.row().add(1).add(1.0, 2);
+  t.row().add(2).add(1.85, 2);
+  const std::string md = t.markdown();
+  EXPECT_NE(md.find("| p"), std::string::npos);
+  EXPECT_NE(md.find("1.85"), std::string::npos);
+  EXPECT_EQ(std::count(md.begin(), md.end(), '\n'), 4);  // header, sep, 2 rows
+}
+
+TEST(Table, CellAccess) {
+  Table t({"a", "b"});
+  t.row().add("x").add("y");
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cell(0, 0), "x");
+  EXPECT_EQ(t.cell(0, 1), "y");
+}
+
+TEST(Table, NumericFormatting) {
+  Table t({"v"});
+  t.row().add(3.14159, 2);
+  EXPECT_EQ(t.cell(0, 0), "3.14");
+  t.row().add(std::size_t{42});
+  EXPECT_EQ(t.cell(1, 0), "42");
+  t.row().add(-7);
+  EXPECT_EQ(t.cell(2, 0), "-7");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.row().add("plain").add("a,b");
+  t.row().add("quo\"te").add("multi\nline");
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quo\"\"te\""), std::string::npos);
+}
+
+TEST(Table, StreamOperatorUsesMarkdown) {
+  Table t({"h"});
+  t.row().add("v");
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.markdown());
+}
+
+TEST(TableDeath, TooManyCellsAborts) {
+  Table t({"only"});
+  t.row().add("ok");
+  EXPECT_DEATH(t.add("overflow"), "Precondition");
+}
+
+TEST(TableDeath, AddBeforeRowAborts) {
+  Table t({"h"});
+  EXPECT_DEATH(t.add("no row yet"), "Precondition");
+}
+
+}  // namespace
+}  // namespace specomp::support

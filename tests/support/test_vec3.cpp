@@ -1,0 +1,43 @@
+#include "support/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace specomp::support {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, (Vec3{2, 4, 6}));
+  EXPECT_EQ(-a, (Vec3{-1, -2, -3}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += Vec3{1, 2, 3};
+  EXPECT_EQ(v, (Vec3{2, 3, 4}));
+  v -= Vec3{2, 2, 2};
+  EXPECT_EQ(v, (Vec3{0, 1, 2}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec3{0, 3, 6}));
+}
+
+TEST(Vec3, DotAndNorm) {
+  const Vec3 a{3, 4, 0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.dot(Vec3{0, 0, 7}), 0.0);
+}
+
+TEST(Vec3, DefaultIsZero) {
+  const Vec3 z;
+  EXPECT_EQ(z, (Vec3{0, 0, 0}));
+  EXPECT_DOUBLE_EQ(z.norm(), 0.0);
+}
+
+}  // namespace
+}  // namespace specomp::support
