@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_fw.dir/bench_adaptive_fw.cpp.o"
+  "CMakeFiles/bench_adaptive_fw.dir/bench_adaptive_fw.cpp.o.d"
+  "bench_adaptive_fw"
+  "bench_adaptive_fw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_fw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

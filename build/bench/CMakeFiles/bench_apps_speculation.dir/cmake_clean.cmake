@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_apps_speculation.dir/bench_apps_speculation.cpp.o"
+  "CMakeFiles/bench_apps_speculation.dir/bench_apps_speculation.cpp.o.d"
+  "bench_apps_speculation"
+  "bench_apps_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_apps_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_stochastic.dir/bench_model_stochastic.cpp.o"
+  "CMakeFiles/bench_model_stochastic.dir/bench_model_stochastic.cpp.o.d"
+  "bench_model_stochastic"
+  "bench_model_stochastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_stochastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

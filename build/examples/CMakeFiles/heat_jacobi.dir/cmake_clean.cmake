@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_jacobi.dir/heat_jacobi.cpp.o"
+  "CMakeFiles/heat_jacobi.dir/heat_jacobi.cpp.o.d"
+  "heat_jacobi"
+  "heat_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/heat.cpp" "src/apps/CMakeFiles/spec_apps.dir/heat.cpp.o" "gcc" "src/apps/CMakeFiles/spec_apps.dir/heat.cpp.o.d"
+  "/root/repo/src/apps/jacobi.cpp" "src/apps/CMakeFiles/spec_apps.dir/jacobi.cpp.o" "gcc" "src/apps/CMakeFiles/spec_apps.dir/jacobi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/spec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/spec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/spec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/spec_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_apps.dir/heat.cpp.o"
+  "CMakeFiles/spec_apps.dir/heat.cpp.o.d"
+  "CMakeFiles/spec_apps.dir/jacobi.cpp.o"
+  "CMakeFiles/spec_apps.dir/jacobi.cpp.o.d"
+  "libspec_apps.a"
+  "libspec_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/des/kernel.cpp" "src/des/CMakeFiles/spec_des.dir/kernel.cpp.o" "gcc" "src/des/CMakeFiles/spec_des.dir/kernel.cpp.o.d"
+  "/root/repo/src/des/process.cpp" "src/des/CMakeFiles/spec_des.dir/process.cpp.o" "gcc" "src/des/CMakeFiles/spec_des.dir/process.cpp.o.d"
+  "/root/repo/src/des/resource.cpp" "src/des/CMakeFiles/spec_des.dir/resource.cpp.o" "gcc" "src/des/CMakeFiles/spec_des.dir/resource.cpp.o.d"
+  "/root/repo/src/des/trace.cpp" "src/des/CMakeFiles/spec_des.dir/trace.cpp.o" "gcc" "src/des/CMakeFiles/spec_des.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/spec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_des.dir/kernel.cpp.o"
+  "CMakeFiles/spec_des.dir/kernel.cpp.o.d"
+  "CMakeFiles/spec_des.dir/process.cpp.o"
+  "CMakeFiles/spec_des.dir/process.cpp.o.d"
+  "CMakeFiles/spec_des.dir/resource.cpp.o"
+  "CMakeFiles/spec_des.dir/resource.cpp.o.d"
+  "CMakeFiles/spec_des.dir/trace.cpp.o"
+  "CMakeFiles/spec_des.dir/trace.cpp.o.d"
+  "libspec_des.a"
+  "libspec_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

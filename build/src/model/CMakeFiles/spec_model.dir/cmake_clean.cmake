@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_model.dir/calibrate.cpp.o"
+  "CMakeFiles/spec_model.dir/calibrate.cpp.o.d"
+  "CMakeFiles/spec_model.dir/perf_model.cpp.o"
+  "CMakeFiles/spec_model.dir/perf_model.cpp.o.d"
+  "libspec_model.a"
+  "libspec_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

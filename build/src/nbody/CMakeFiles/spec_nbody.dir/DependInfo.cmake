@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nbody/app.cpp" "src/nbody/CMakeFiles/spec_nbody.dir/app.cpp.o" "gcc" "src/nbody/CMakeFiles/spec_nbody.dir/app.cpp.o.d"
+  "/root/repo/src/nbody/baseline.cpp" "src/nbody/CMakeFiles/spec_nbody.dir/baseline.cpp.o" "gcc" "src/nbody/CMakeFiles/spec_nbody.dir/baseline.cpp.o.d"
+  "/root/repo/src/nbody/energy.cpp" "src/nbody/CMakeFiles/spec_nbody.dir/energy.cpp.o" "gcc" "src/nbody/CMakeFiles/spec_nbody.dir/energy.cpp.o.d"
+  "/root/repo/src/nbody/forces.cpp" "src/nbody/CMakeFiles/spec_nbody.dir/forces.cpp.o" "gcc" "src/nbody/CMakeFiles/spec_nbody.dir/forces.cpp.o.d"
+  "/root/repo/src/nbody/init.cpp" "src/nbody/CMakeFiles/spec_nbody.dir/init.cpp.o" "gcc" "src/nbody/CMakeFiles/spec_nbody.dir/init.cpp.o.d"
+  "/root/repo/src/nbody/scenario.cpp" "src/nbody/CMakeFiles/spec_nbody.dir/scenario.cpp.o" "gcc" "src/nbody/CMakeFiles/spec_nbody.dir/scenario.cpp.o.d"
+  "/root/repo/src/nbody/serial.cpp" "src/nbody/CMakeFiles/spec_nbody.dir/serial.cpp.o" "gcc" "src/nbody/CMakeFiles/spec_nbody.dir/serial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/spec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/spec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/spec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/spec_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_nbody.dir/app.cpp.o"
+  "CMakeFiles/spec_nbody.dir/app.cpp.o.d"
+  "CMakeFiles/spec_nbody.dir/baseline.cpp.o"
+  "CMakeFiles/spec_nbody.dir/baseline.cpp.o.d"
+  "CMakeFiles/spec_nbody.dir/energy.cpp.o"
+  "CMakeFiles/spec_nbody.dir/energy.cpp.o.d"
+  "CMakeFiles/spec_nbody.dir/forces.cpp.o"
+  "CMakeFiles/spec_nbody.dir/forces.cpp.o.d"
+  "CMakeFiles/spec_nbody.dir/init.cpp.o"
+  "CMakeFiles/spec_nbody.dir/init.cpp.o.d"
+  "CMakeFiles/spec_nbody.dir/scenario.cpp.o"
+  "CMakeFiles/spec_nbody.dir/scenario.cpp.o.d"
+  "CMakeFiles/spec_nbody.dir/serial.cpp.o"
+  "CMakeFiles/spec_nbody.dir/serial.cpp.o.d"
+  "libspec_nbody.a"
+  "libspec_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_net.dir/channel.cpp.o"
+  "CMakeFiles/spec_net.dir/channel.cpp.o.d"
+  "CMakeFiles/spec_net.dir/latency.cpp.o"
+  "CMakeFiles/spec_net.dir/latency.cpp.o.d"
+  "libspec_net.a"
+  "libspec_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/cluster.cpp" "src/runtime/CMakeFiles/spec_runtime.dir/cluster.cpp.o" "gcc" "src/runtime/CMakeFiles/spec_runtime.dir/cluster.cpp.o.d"
+  "/root/repo/src/runtime/collectives.cpp" "src/runtime/CMakeFiles/spec_runtime.dir/collectives.cpp.o" "gcc" "src/runtime/CMakeFiles/spec_runtime.dir/collectives.cpp.o.d"
+  "/root/repo/src/runtime/phase_timer.cpp" "src/runtime/CMakeFiles/spec_runtime.dir/phase_timer.cpp.o" "gcc" "src/runtime/CMakeFiles/spec_runtime.dir/phase_timer.cpp.o.d"
+  "/root/repo/src/runtime/sim_comm.cpp" "src/runtime/CMakeFiles/spec_runtime.dir/sim_comm.cpp.o" "gcc" "src/runtime/CMakeFiles/spec_runtime.dir/sim_comm.cpp.o.d"
+  "/root/repo/src/runtime/thread_comm.cpp" "src/runtime/CMakeFiles/spec_runtime.dir/thread_comm.cpp.o" "gcc" "src/runtime/CMakeFiles/spec_runtime.dir/thread_comm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/spec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/spec_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spec_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

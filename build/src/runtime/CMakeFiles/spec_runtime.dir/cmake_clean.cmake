@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_runtime.dir/cluster.cpp.o"
+  "CMakeFiles/spec_runtime.dir/cluster.cpp.o.d"
+  "CMakeFiles/spec_runtime.dir/collectives.cpp.o"
+  "CMakeFiles/spec_runtime.dir/collectives.cpp.o.d"
+  "CMakeFiles/spec_runtime.dir/phase_timer.cpp.o"
+  "CMakeFiles/spec_runtime.dir/phase_timer.cpp.o.d"
+  "CMakeFiles/spec_runtime.dir/sim_comm.cpp.o"
+  "CMakeFiles/spec_runtime.dir/sim_comm.cpp.o.d"
+  "CMakeFiles/spec_runtime.dir/thread_comm.cpp.o"
+  "CMakeFiles/spec_runtime.dir/thread_comm.cpp.o.d"
+  "libspec_runtime.a"
+  "libspec_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

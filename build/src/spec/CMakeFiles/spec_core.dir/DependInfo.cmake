@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/adaptive.cpp" "src/spec/CMakeFiles/spec_core.dir/adaptive.cpp.o" "gcc" "src/spec/CMakeFiles/spec_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/spec/engine.cpp" "src/spec/CMakeFiles/spec_core.dir/engine.cpp.o" "gcc" "src/spec/CMakeFiles/spec_core.dir/engine.cpp.o.d"
+  "/root/repo/src/spec/speculator.cpp" "src/spec/CMakeFiles/spec_core.dir/speculator.cpp.o" "gcc" "src/spec/CMakeFiles/spec_core.dir/speculator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/spec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/spec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/spec_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_core.dir/adaptive.cpp.o"
+  "CMakeFiles/spec_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/spec_core.dir/engine.cpp.o"
+  "CMakeFiles/spec_core.dir/engine.cpp.o.d"
+  "CMakeFiles/spec_core.dir/speculator.cpp.o"
+  "CMakeFiles/spec_core.dir/speculator.cpp.o.d"
+  "libspec_core.a"
+  "libspec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_support.dir/cli.cpp.o"
+  "CMakeFiles/spec_support.dir/cli.cpp.o.d"
+  "CMakeFiles/spec_support.dir/log.cpp.o"
+  "CMakeFiles/spec_support.dir/log.cpp.o.d"
+  "CMakeFiles/spec_support.dir/rng.cpp.o"
+  "CMakeFiles/spec_support.dir/rng.cpp.o.d"
+  "CMakeFiles/spec_support.dir/stats.cpp.o"
+  "CMakeFiles/spec_support.dir/stats.cpp.o.d"
+  "CMakeFiles/spec_support.dir/table.cpp.o"
+  "CMakeFiles/spec_support.dir/table.cpp.o.d"
+  "libspec_support.a"
+  "libspec_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

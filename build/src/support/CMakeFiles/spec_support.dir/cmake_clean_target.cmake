@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspec_support.a"
+)

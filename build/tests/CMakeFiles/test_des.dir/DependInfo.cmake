@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/des/test_kernel.cpp" "tests/CMakeFiles/test_des.dir/des/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/test_des.dir/des/test_kernel.cpp.o.d"
+  "/root/repo/tests/des/test_process.cpp" "tests/CMakeFiles/test_des.dir/des/test_process.cpp.o" "gcc" "tests/CMakeFiles/test_des.dir/des/test_process.cpp.o.d"
+  "/root/repo/tests/des/test_resource.cpp" "tests/CMakeFiles/test_des.dir/des/test_resource.cpp.o" "gcc" "tests/CMakeFiles/test_des.dir/des/test_resource.cpp.o.d"
+  "/root/repo/tests/des/test_trace.cpp" "tests/CMakeFiles/test_des.dir/des/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_des.dir/des/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/spec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/spec_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/spec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/spec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/spec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/spec_nbody.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_des.dir/des/test_kernel.cpp.o"
+  "CMakeFiles/test_des.dir/des/test_kernel.cpp.o.d"
+  "CMakeFiles/test_des.dir/des/test_process.cpp.o"
+  "CMakeFiles/test_des.dir/des/test_process.cpp.o.d"
+  "CMakeFiles/test_des.dir/des/test_resource.cpp.o"
+  "CMakeFiles/test_des.dir/des/test_resource.cpp.o.d"
+  "CMakeFiles/test_des.dir/des/test_trace.cpp.o"
+  "CMakeFiles/test_des.dir/des/test_trace.cpp.o.d"
+  "test_des"
+  "test_des.pdb"
+  "test_des[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nbody/test_app.cpp" "tests/CMakeFiles/test_nbody.dir/nbody/test_app.cpp.o" "gcc" "tests/CMakeFiles/test_nbody.dir/nbody/test_app.cpp.o.d"
+  "/root/repo/tests/nbody/test_energy.cpp" "tests/CMakeFiles/test_nbody.dir/nbody/test_energy.cpp.o" "gcc" "tests/CMakeFiles/test_nbody.dir/nbody/test_energy.cpp.o.d"
+  "/root/repo/tests/nbody/test_forces.cpp" "tests/CMakeFiles/test_nbody.dir/nbody/test_forces.cpp.o" "gcc" "tests/CMakeFiles/test_nbody.dir/nbody/test_forces.cpp.o.d"
+  "/root/repo/tests/nbody/test_init.cpp" "tests/CMakeFiles/test_nbody.dir/nbody/test_init.cpp.o" "gcc" "tests/CMakeFiles/test_nbody.dir/nbody/test_init.cpp.o.d"
+  "/root/repo/tests/nbody/test_serial.cpp" "tests/CMakeFiles/test_nbody.dir/nbody/test_serial.cpp.o" "gcc" "tests/CMakeFiles/test_nbody.dir/nbody/test_serial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/spec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/spec_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/spec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/spec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/spec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/spec_nbody.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nbody.dir/nbody/test_app.cpp.o"
+  "CMakeFiles/test_nbody.dir/nbody/test_app.cpp.o.d"
+  "CMakeFiles/test_nbody.dir/nbody/test_energy.cpp.o"
+  "CMakeFiles/test_nbody.dir/nbody/test_energy.cpp.o.d"
+  "CMakeFiles/test_nbody.dir/nbody/test_forces.cpp.o"
+  "CMakeFiles/test_nbody.dir/nbody/test_forces.cpp.o.d"
+  "CMakeFiles/test_nbody.dir/nbody/test_init.cpp.o"
+  "CMakeFiles/test_nbody.dir/nbody/test_init.cpp.o.d"
+  "CMakeFiles/test_nbody.dir/nbody/test_serial.cpp.o"
+  "CMakeFiles/test_nbody.dir/nbody/test_serial.cpp.o.d"
+  "test_nbody"
+  "test_nbody.pdb"
+  "test_nbody[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

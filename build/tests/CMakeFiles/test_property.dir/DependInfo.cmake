@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/test_cross_backend.cpp" "tests/CMakeFiles/test_property.dir/property/test_cross_backend.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_cross_backend.cpp.o.d"
+  "/root/repo/tests/property/test_engine_sweep.cpp" "tests/CMakeFiles/test_property.dir/property/test_engine_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_engine_sweep.cpp.o.d"
+  "/root/repo/tests/property/test_nbody_sweep.cpp" "tests/CMakeFiles/test_property.dir/property/test_nbody_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_nbody_sweep.cpp.o.d"
+  "/root/repo/tests/property/test_trace_invariants.cpp" "tests/CMakeFiles/test_property.dir/property/test_trace_invariants.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_trace_invariants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/spec_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/spec_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/spec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/spec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/spec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/nbody/CMakeFiles/spec_nbody.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/spec_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/test_cross_backend.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_cross_backend.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_engine_sweep.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_engine_sweep.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_nbody_sweep.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_nbody_sweep.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_trace_invariants.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_trace_invariants.cpp.o.d"
+  "test_property"
+  "test_property.pdb"
+  "test_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

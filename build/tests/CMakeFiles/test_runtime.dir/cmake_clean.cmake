@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/test_cluster.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_cluster.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_phase_timer.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_phase_timer.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_sim_comm.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_sim_comm.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_thread_comm.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_thread_comm.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec.dir/spec/test_engine.cpp.o"
+  "CMakeFiles/test_spec.dir/spec/test_engine.cpp.o.d"
+  "CMakeFiles/test_spec.dir/spec/test_history.cpp.o"
+  "CMakeFiles/test_spec.dir/spec/test_history.cpp.o.d"
+  "CMakeFiles/test_spec.dir/spec/test_speculator.cpp.o"
+  "CMakeFiles/test_spec.dir/spec/test_speculator.cpp.o.d"
+  "test_spec"
+  "test_spec.pdb"
+  "test_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
