@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "nbody/scenario.hpp"
+#include "obs/artifacts.hpp"
 #include "spec/speculator.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   using namespace specomp;
   using namespace specomp::nbody;
   const support::Cli cli(argc, argv);
+  obs::ArtifactWriter artifacts("bench_ablation_bw", cli);
   const long iterations = cli.get_int("iterations", 10);
   const auto p = static_cast<std::size_t>(cli.get_int("p", 8));
 
@@ -52,5 +54,10 @@ int main(int argc, char** argv) {
       "\nexpectation: structure-aware kinematic speculation (the paper's "
       "eq. 10) beats generic extrapolation of the packed blocks; hold-last "
       "is worst.\n");
-  return 0;
+  artifacts.add_table("ablation_bw", table);
+  artifacts.add_entry("processors", obs::Json(p));
+  artifacts.add_entry("iterations", obs::Json(iterations));
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+  return artifacts.flush() ? 0 : 1;
 }

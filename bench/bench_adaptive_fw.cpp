@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "nbody/scenario.hpp"
+#include "obs/artifacts.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -14,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace specomp;
   using namespace specomp::nbody;
   const support::Cli cli(argc, argv);
+  obs::ArtifactWriter artifacts("bench_adaptive_fw", cli);
   const long iterations = cli.get_int("iterations", 18);
   const auto p = static_cast<std::size_t>(cli.get_int("p", 16));
 
@@ -57,6 +59,7 @@ int main(int argc, char** argv) {
     add_row("adaptive", run_one(1, "adaptive", spiky));
     add_row("hill-climb", run_one(1, "hill-climb", spiky));
     std::cout << table << "\n";
+    artifacts.add_table(spiky ? "adaptive_spiky" : "adaptive_calm", table);
   }
   std::printf(
       "expectation: both controllers beat the no-speculation baseline in "
@@ -64,5 +67,9 @@ int main(int argc, char** argv) {
       "hand tuning; the hill-climber (optimising iteration time directly) "
       "handles the wait-vs-correction trade-off better than the "
       "signal-threshold policy.\n");
-  return 0;
+  artifacts.add_entry("processors", obs::Json(p));
+  artifacts.add_entry("iterations", obs::Json(iterations));
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+  return artifacts.flush() ? 0 : 1;
 }

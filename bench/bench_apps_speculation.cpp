@@ -8,6 +8,7 @@
 
 #include "apps/heat.hpp"
 #include "apps/jacobi.hpp"
+#include "obs/artifacts.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   using namespace specomp;
   using namespace specomp::apps;
   const support::Cli cli(argc, argv);
+  obs::ArtifactWriter artifacts("bench_apps_speculation", cli);
   const auto p = static_cast<std::size_t>(cli.get_int("p", 8));
   const long iterations = cli.get_int("iterations", 40);
 
@@ -119,5 +121,10 @@ int main(int argc, char** argv) {
       "contracting systems or congested networks its residual plateaus "
       "(see JacobiAsync tests), the failure mode the paper's thresholded "
       "speculation rules out by checking every guess.\n");
-  return 0;
+  artifacts.add_table("apps_speculation", table);
+  artifacts.add_entry("processors", obs::Json(p));
+  artifacts.add_entry("iterations", obs::Json(iterations));
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+  return artifacts.flush() ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "nbody/scenario.hpp"
+#include "obs/artifacts.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -16,6 +17,7 @@ int main(int argc, char** argv) {
   using namespace specomp;
   using namespace specomp::nbody;
   const support::Cli cli(argc, argv);
+  obs::ArtifactWriter artifacts("bench_fig4_transient", cli);
   const long iterations = cli.get_int("iterations", 12);
   // Two-processor iterations take ~30 s of compute; Fig. 7's arrival-order
   // folding already overlaps ~15 s of delay with the local block's force
@@ -66,5 +68,12 @@ int main(int argc, char** argv) {
       penalty[2], penalty[1], penalty[0],
       (penalty[2] < penalty[1] && penalty[1] < penalty[0]) ? "REPRODUCED"
                                                            : "NOT reproduced");
-  return 0;
+  artifacts.add_table("fig4", table);
+  artifacts.add_entry("spike_seconds", obs::Json(spike_seconds));
+  artifacts.add_entry(
+      "reproduced",
+      obs::Json(penalty[2] < penalty[1] && penalty[1] < penalty[0]));
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+  return artifacts.flush() ? 0 : 1;
 }

@@ -9,12 +9,14 @@
 #include <iostream>
 
 #include "model/perf_model.hpp"
+#include "obs/artifacts.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace specomp;
   const support::Cli cli(argc, argv);
+  obs::ArtifactWriter artifacts("bench_fig5_model", cli);
   const double k = cli.get_double("k", 0.02);
 
   const model::PerfModel perf(model::paper_figure5_params(k));
@@ -40,5 +42,11 @@ int main(int argc, char** argv) {
       "\nno-speculation speedup peaks at p = %zu and declines beyond "
       "(paper: ~10); speculation gain at p = 16: %.1f%% (paper: ~25%%)\n",
       peak, perf.improvement(16) * 100.0);
-  return 0;
+  artifacts.add_table("fig5", table);
+  artifacts.add_entry("k", obs::Json(k));
+  artifacts.add_entry("no_spec_peak_p", obs::Json(peak));
+  artifacts.add_entry("gain_at_16_percent", obs::Json(perf.improvement(16) * 100.0));
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+  return artifacts.flush() ? 0 : 1;
 }

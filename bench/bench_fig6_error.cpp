@@ -8,12 +8,14 @@
 #include <iostream>
 
 #include "model/perf_model.hpp"
+#include "obs/artifacts.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace specomp;
   const support::Cli cli(argc, argv);
+  obs::ArtifactWriter artifacts("bench_fig6_error", cli);
   const auto p = static_cast<std::size_t>(cli.get_int("p", 8));
 
   const model::PerfModel baseline(model::paper_figure5_params(0.0));
@@ -38,5 +40,10 @@ int main(int argc, char** argv) {
       "\ncrossover: speculation stops paying at k = %.1f%% "
       "(paper reports ~10%%; see EXPERIMENTS.md for the discussion)\n",
       crossover * 100.0);
-  return 0;
+  artifacts.add_table("fig6", table);
+  artifacts.add_entry("processors", obs::Json(p));
+  artifacts.add_entry("crossover_k_percent", obs::Json(crossover * 100.0));
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+  return artifacts.flush() ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <map>
 
 #include "nbody/scenario.hpp"
+#include "obs/artifacts.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   using namespace specomp;
   using namespace specomp::nbody;
   const support::Cli cli(argc, argv);
+  obs::ArtifactWriter artifacts("bench_fig8_nbody_speedup", cli);
   const long iterations = cli.get_int("iterations", 10);
 
   const std::size_t p_values[] = {1, 2, 4, 6, 8, 10, 12, 14, 16};
@@ -62,5 +64,11 @@ int main(int argc, char** argv) {
       "%.2f  (paper: within 20%%)\n",
       (1.0 - std::max(speedups[16][1], speedups[16][2]) / max16) * 100.0,
       max16);
-  return 0;
+  artifacts.add_table("fig8", table);
+  artifacts.add_entry("iterations", obs::Json(iterations));
+  artifacts.add_entry("gain_fw1_percent", obs::Json(gain1 * 100.0));
+  artifacts.add_entry("gain_fw2_percent", obs::Json(gain2 * 100.0));
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+  return artifacts.flush() ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 
 #include "model/calibrate.hpp"
 #include "nbody/scenario.hpp"
+#include "obs/artifacts.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace specomp;
   using namespace specomp::nbody;
   const support::Cli cli(argc, argv);
+  obs::ArtifactWriter artifacts("bench_fig9_model_vs_measured", cli);
   const long iterations = cli.get_int("iterations", 10);
 
   const std::size_t p_values[] = {2, 4, 6, 8, 10, 12, 14, 16};
@@ -90,5 +92,13 @@ int main(int argc, char** argv) {
   std::printf("calibrated: k = %.2f%%, t_comm(p) = %.3f + %.3f p seconds\n",
               inputs.k * 100.0, perf.params().t_comm_base,
               perf.params().t_comm_slope);
-  return 0;
+  artifacts.add_table("fig9", table);
+  artifacts.add_entry("calibrated_k", obs::Json(inputs.k));
+  artifacts.add_entry("t_comm_base", obs::Json(perf.params().t_comm_base));
+  artifacts.add_entry("t_comm_slope", obs::Json(perf.params().t_comm_slope));
+  artifacts.add_entry("worst_model_error_small_p", obs::Json(worst_small));
+  artifacts.add_entry("worst_model_error_large_p", obs::Json(worst_large));
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+  return artifacts.flush() ? 0 : 1;
 }

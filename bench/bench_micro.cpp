@@ -4,6 +4,10 @@
 // throughput, and the shared-medium channel.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "des/kernel.hpp"
 #include "des/process.hpp"
 #include "net/channel.hpp"
@@ -11,7 +15,9 @@
 #include "nbody/app.hpp"
 #include "nbody/forces.hpp"
 #include "nbody/init.hpp"
+#include "obs/artifacts.hpp"
 #include "spec/speculator.hpp"
+#include "support/cli.hpp"
 
 namespace {
 
@@ -133,4 +139,50 @@ void BM_SharedMediumPost(benchmark::State& state) {
 }
 BENCHMARK(BM_SharedMediumPost);
 
+/// True for the telemetry options ArtifactWriter owns; google-benchmark
+/// aborts on options it does not recognise, so these are split out of argv
+/// before Initialize().
+bool is_obs_flag(std::string_view arg) {
+  for (const std::string_view name :
+       {"--metrics-out", "--trace-out", "--report-out", "--csv-out"}) {
+    if (arg == name || (arg.size() > name.size() && arg.starts_with(name) &&
+                        arg[name.size()] == '=')) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
+
+// Custom main (instead of benchmark_main) so the shared telemetry flags
+// work here too: bench_micro --report-out=x.json emits the bench envelope
+// while every other flag still reaches google-benchmark.
+int main(int argc, char** argv) {
+  std::vector<char*> obs_args{argv[0]};
+  std::vector<char*> bench_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (is_obs_flag(argv[i])) {
+      obs_args.push_back(argv[i]);
+      // `--flag value` form: the value travels with the flag.
+      const std::string_view arg(argv[i]);
+      if (arg.find('=') == std::string_view::npos && i + 1 < argc)
+        obs_args.push_back(argv[++i]);
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+
+  const support::Cli cli(static_cast<int>(obs_args.size()), obs_args.data());
+  obs::ArtifactWriter artifacts("bench_micro", cli);
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data()))
+    return 1;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  artifacts.add_entry("benchmarks_run", obs::Json(ran));
+  return artifacts.flush() ? 0 : 1;
+}

@@ -7,12 +7,14 @@
 #include <iostream>
 
 #include "model/perf_model.hpp"
+#include "obs/artifacts.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace specomp;
   const support::Cli cli(argc, argv);
+  obs::ArtifactWriter artifacts("bench_model_stochastic", cli);
   const auto p = static_cast<std::size_t>(cli.get_int("p", 8));
   const auto samples = static_cast<std::size_t>(cli.get_int("samples", 20000));
 
@@ -43,5 +45,10 @@ int main(int argc, char** argv) {
       "\nexpectation: the speculative gain grows with communication "
       "variance — the regime the paper argues workstation networks live "
       "in.\n");
-  return 0;
+  artifacts.add_table("stochastic", table);
+  artifacts.add_entry("processors", obs::Json(p));
+  artifacts.add_entry("samples", obs::Json(samples));
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+  return artifacts.flush() ? 0 : 1;
 }

@@ -8,14 +8,17 @@
 // ~95% of it, with small speculation/checking overhead.
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "nbody/scenario.hpp"
+#include "obs/artifacts.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 namespace {
 
-void print_breakdown(std::size_t p, long iterations) {
+void print_breakdown(std::size_t p, long iterations,
+                     specomp::obs::ArtifactWriter& artifacts) {
   using namespace specomp;
   using namespace specomp::nbody;
   std::printf("Table 2 — per-iteration phase times, %zu processors, 1000 particles\n\n",
@@ -38,17 +41,23 @@ void print_breakdown(std::size_t p, long iterations) {
         .add(run.time_per_iteration, 2);
   }
   std::cout << table << "\n";
+  artifacts.add_table("table2_p" + std::to_string(p), table);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const specomp::support::Cli cli(argc, argv);
+  specomp::obs::ArtifactWriter artifacts("bench_table2_breakdown", cli);
   const long iterations = cli.get_int("iterations", 10);
-  print_breakdown(16, iterations);
-  print_breakdown(8, iterations);
+  print_breakdown(16, iterations, artifacts);
+  print_breakdown(8, iterations, artifacts);
   std::printf(
       "paper (16 procs): comp 5.83 / comm 4.73 at FW=0; comm 1.43 at FW=1; "
       "comm 0.22 at FW=2\n");
-  return 0;
+  artifacts.add_entry("iterations", specomp::obs::Json(iterations));
+  artifacts.add_entry("particles", specomp::obs::Json(1000));
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+  return artifacts.flush() ? 0 : 1;
 }

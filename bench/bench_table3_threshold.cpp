@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "nbody/scenario.hpp"
+#include "obs/artifacts.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   using namespace specomp;
   using namespace specomp::nbody;
   const support::Cli cli(argc, argv);
+  obs::ArtifactWriter artifacts("bench_table3_threshold", cli);
   const long iterations = cli.get_int("iterations", 10);
   const auto p = static_cast<std::size_t>(cli.get_int("p", 16));
 
@@ -46,5 +48,11 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper ladder: theta 0.1 -> <1%% incorrect / 20%% force err ... "
       "theta 0.001 -> 20%% incorrect / 0.2%% force err\n");
-  return 0;
+  artifacts.add_table("table3", table);
+  artifacts.add_entry("processors", obs::Json(p));
+  artifacts.add_entry("iterations", obs::Json(iterations));
+  artifacts.add_entry("forward_window", obs::Json(2));
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+  return artifacts.flush() ? 0 : 1;
 }

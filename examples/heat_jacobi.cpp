@@ -8,10 +8,13 @@
 // executable form.
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "apps/heat.hpp"
 #include "apps/jacobi.hpp"
+#include "obs/artifacts.hpp"
 #include "support/cli.hpp"
+#include "support/table.hpp"
 
 using namespace specomp;
 using namespace specomp::apps;
@@ -32,8 +35,11 @@ runtime::SimConfig latency_bound_network(std::size_t p) {
 
 int main(int argc, char** argv) {
   const support::Cli cli(argc, argv);
+  obs::ArtifactWriter artifacts("heat_jacobi", cli);
   const auto p = static_cast<std::size_t>(cli.get_int("p", 8));
   const long iterations = cli.get_int("iterations", 50);
+
+  support::Table results({"app", "fw", "makespan_s", "accuracy", "k_percent"});
 
   std::printf("== Jacobi solver, 512 unknowns, %zu processors ==\n", p);
   for (const int fw : {0, 1}) {
@@ -49,6 +55,12 @@ int main(int argc, char** argv) {
         fw, run.sim.makespan_seconds, run.residual,
         run.spec.failure_fraction() * 100.0,
         static_cast<unsigned long long>(run.spec.incremental_corrections));
+    results.row()
+        .add("jacobi")
+        .add(fw)
+        .add(run.sim.makespan_seconds)
+        .add(run.residual, 6)
+        .add(run.spec.failure_fraction() * 100.0, 2);
   }
 
   // The heat stencil computes so little per iteration that one iteration of
@@ -62,6 +74,7 @@ int main(int argc, char** argv) {
     s.forward_window = fw;
     s.theta = 1e-4;
     s.sim = latency_bound_network(p);
+    s.sim.record_trace = fw == 2 && artifacts.wants_trace();
     const HeatRunResult run = run_heat_scenario(s);
     const auto serial = serial_heat(s.problem, s.iterations);
     double deviation = 0.0;
@@ -71,10 +84,23 @@ int main(int argc, char** argv) {
         "  FW=%d: %6.2f s, max deviation from serial %.2e, k = %.1f%%\n", fw,
         run.sim.makespan_seconds, deviation,
         run.spec.failure_fraction() * 100.0);
+    results.row()
+        .add("heat")
+        .add(fw)
+        .add(run.sim.makespan_seconds)
+        .add(deviation, 6)
+        .add(run.spec.failure_fraction() * 100.0, 2);
+    if (s.sim.record_trace) artifacts.set_trace(run.sim.trace, p);
   }
 
   std::printf(
       "\nthe same SpecEngine drives N-body, Jacobi and the heat stencil — "
       "only pack/compute/error/correct hooks differ per application.\n");
-  return 0;
+
+  artifacts.add_table("heat_jacobi", results);
+  artifacts.add_entry("processors", obs::Json(p));
+  artifacts.add_entry("iterations", obs::Json(iterations));
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+  return artifacts.flush() ? 0 : 1;
 }

@@ -11,12 +11,14 @@
 #include <iostream>
 
 #include "model/perf_model.hpp"
+#include "obs/artifacts.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace specomp;
   const support::Cli cli(argc, argv);
+  obs::ArtifactWriter artifacts("model_explorer", cli);
 
   model::ModelParams params = model::paper_figure5_params(cli.get_double("k", 0.02));
   params.total_variables =
@@ -66,5 +68,13 @@ int main(int argc, char** argv) {
     ks.row().add(k * 100.0, 0).add(model::PerfModel(kp).speedup_spec(half), 2);
   }
   std::cout << ks;
-  return 0;
+
+  artifacts.add_table("speedups", speedups);
+  artifacts.add_table("breakdown", breakdown);
+  artifacts.add_table("k_sweep", ks);
+  artifacts.add_entry("k", obs::Json(params.k));
+  artifacts.add_entry("procs", obs::Json(procs));
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+  return artifacts.flush() ? 0 : 1;
 }

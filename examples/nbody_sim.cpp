@@ -12,12 +12,14 @@
 #include "nbody/energy.hpp"
 #include "nbody/init.hpp"
 #include "nbody/scenario.hpp"
+#include "obs/artifacts.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace specomp;
   using namespace specomp::nbody;
   const support::Cli cli(argc, argv);
+  obs::ArtifactWriter artifacts("nbody_sim", cli);
 
   NBodyScenario s = paper_testbed_scenario(
       static_cast<std::size_t>(cli.get_int("p", 16)),
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
   s.body.init = init == "cube"   ? InitKind::UniformCube
                 : init == "disk" ? InitKind::RotatingDisk
                                  : InitKind::Plummer;
+  s.sim.record_trace = artifacts.wants_trace();
   for (const auto& unknown : cli.unused())
     std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
 
@@ -85,5 +88,27 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(run.sim.channel_stats.messages),
               static_cast<double>(run.sim.channel_stats.bytes) / 1e6,
               run.sim.channel_stats.delay_seconds.mean());
-  return 0;
+
+  obs::RunReport report;
+  report.binary = "nbody_sim";
+  report.algorithm = s.algorithm == Algorithm::Fig7Baseline ? "fig7-baseline"
+                                                            : "speculative";
+  report.speculator = s.forward_window > 0 ? s.speculator : "";
+  report.forward_window = s.forward_window;
+  report.theta = s.theta;
+  report.iterations = s.iterations;
+  report.makespan_seconds = run.sim.makespan_seconds;
+  report.fill_cluster(s.sim.cluster);
+  report.fill_phases(run.sim.timers, s.iterations);
+  report.fill_spec(run.spec);
+  report.fill_channel(run.sim.channel_stats);
+  report.extra.set("bodies", obs::Json(s.body.n));
+  report.extra.set("speedup_vs_single", obs::Json(t1 / run.sim.makespan_seconds));
+  report.extra.set("energy_drift_fraction",
+                   obs::Json(std::fabs(after.total_energy() - before.total_energy()) /
+                             std::fabs(before.total_energy())));
+  artifacts.set_run_report(report);
+  if (artifacts.wants_trace())
+    artifacts.set_trace(run.sim.trace, s.sim.cluster.size());
+  return artifacts.flush() ? 0 : 1;
 }

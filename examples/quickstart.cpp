@@ -12,8 +12,10 @@
 #include <memory>
 #include <vector>
 
+#include "obs/artifacts.hpp"
 #include "runtime/sim_comm.hpp"
 #include "spec/engine.hpp"
+#include "support/cli.hpp"
 
 using namespace specomp;
 
@@ -70,38 +72,59 @@ class CoupledOscillators final : public spec::SyncIterativeApp {
   std::vector<double> view_;
 };
 
-double run(int forward_window) {
+runtime::SimResult run(int forward_window, bool record_trace) {
   runtime::SimConfig config;
   config.cluster = runtime::Cluster::homogeneous(8, 1e6);
   // A latency-bound channel: messages take ~100 ms regardless of size,
   // against ~200 ms of compute per iteration — the paper's sweet spot.
   config.channel.propagation = des::SimTime::millis(100);
   config.send_sw_time = des::SimTime::micros(200);
+  config.record_trace = record_trace;
 
-  const runtime::SimResult result =
-      runtime::run_simulated(config, [&](runtime::Communicator& comm) {
-        CoupledOscillators app(comm.rank(), comm.size());
-        spec::EngineConfig engine_config;
-        engine_config.forward_window = forward_window;
-        engine_config.threshold = 0.01;
-        if (forward_window > 0)
-          engine_config.speculator = spec::make_speculator("linear");
-        spec::SpecEngine engine(comm, app, engine_config,
-                                CoupledOscillators::initial_blocks(comm.size()));
-        engine.run(/*iterations=*/100);
-      });
-  return result.makespan_seconds;
+  return runtime::run_simulated(config, [&](runtime::Communicator& comm) {
+    CoupledOscillators app(comm.rank(), comm.size());
+    spec::EngineConfig engine_config;
+    engine_config.forward_window = forward_window;
+    engine_config.threshold = 0.01;
+    if (forward_window > 0)
+      engine_config.speculator = spec::make_speculator("linear");
+    spec::SpecEngine engine(comm, app, engine_config,
+                            CoupledOscillators::initial_blocks(comm.size()));
+    engine.run(/*iterations=*/100);
+  });
 }
 
 }  // namespace
 
-int main() {
-  const double without = run(/*forward_window=*/0);
-  const double with_spec = run(/*forward_window=*/1);
+int main(int argc, char** argv) {
+  const support::Cli cli(argc, argv);
+  obs::ArtifactWriter artifacts("quickstart", cli);
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+
+  const runtime::SimResult baseline = run(/*forward_window=*/0, false);
+  const runtime::SimResult speculative =
+      run(/*forward_window=*/1, artifacts.wants_trace());
+  const double without = baseline.makespan_seconds;
+  const double with_spec = speculative.makespan_seconds;
   std::printf("100 iterations on 8 simulated processors\n");
   std::printf("  without speculation : %.3f s\n", without);
   std::printf("  with speculation    : %.3f s\n", with_spec);
   std::printf("  improvement         : %.1f%%\n",
               (without / with_spec - 1.0) * 100.0);
-  return 0;
+
+  obs::RunReport report;
+  report.binary = "quickstart";
+  report.algorithm = "speculative";
+  report.speculator = "linear";
+  report.forward_window = 1;
+  report.theta = 0.01;
+  report.iterations = 100;
+  report.makespan_seconds = with_spec;
+  report.fill_phases(speculative.timers, 100);
+  report.fill_channel(speculative.channel_stats);
+  report.extra.set("baseline_makespan_seconds", obs::Json(without));
+  artifacts.set_run_report(report);
+  if (artifacts.wants_trace()) artifacts.set_trace(speculative.trace, 8);
+  return artifacts.flush() ? 0 : 1;
 }

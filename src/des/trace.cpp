@@ -49,12 +49,16 @@ void Trace::add_event(std::uint64_t lane, SimTime at, std::string label) {
 
 std::string Trace::gantt(std::size_t lanes, std::size_t columns) const {
   SPEC_EXPECTS(columns >= 10);
-  const double horizon = std::max(horizon_.to_seconds(), 1e-12);
+  // A trace whose activity all happens at t = 0 (or an empty one) has a zero
+  // horizon; render it as a single-instant chart instead of dividing by a
+  // denormal and printing a garbage axis label.
+  const bool degenerate = horizon_ <= SimTime::zero();
+  const double horizon = degenerate ? 1.0 : horizon_.to_seconds();
   std::vector<std::string> rows(lanes, std::string(columns, ' '));
 
   auto col_of = [&](SimTime t) {
-    auto c = static_cast<std::size_t>(t.to_seconds() / horizon *
-                                      static_cast<double>(columns));
+    const double s = std::max(t.to_seconds(), 0.0);
+    auto c = static_cast<std::size_t>(s / horizon * static_cast<double>(columns));
     return std::min(c, columns - 1);
   };
 
@@ -73,7 +77,7 @@ std::string Trace::gantt(std::size_t lanes, std::size_t columns) const {
 
   std::ostringstream os;
   os << "time 0 " << std::string(columns > 20 ? columns - 20 : 0, '-') << " "
-     << horizon << " s\n";
+     << horizon_.to_seconds() << " s\n";
   for (std::size_t lane = 0; lane < lanes; ++lane)
     os << "P" << lane << " |" << rows[lane] << "|\n";
   os << "legend:";

@@ -1,0 +1,144 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace specomp::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+}  // namespace
+
+void set_metrics_enabled(bool on) noexcept {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets) {
+  SPEC_EXPECTS(buckets >= 1);
+  SPEC_EXPECTS(hi > lo);
+}
+
+void HistogramMetric::observe(double x) noexcept {
+  std::size_t bucket;
+  if (!(x > lo_)) {  // also catches NaN → lowest bucket
+    bucket = 0;
+  } else if (x >= hi_) {
+    bucket = counts_.size() - 1;
+  } else {
+    bucket = static_cast<std::size_t>((x - lo_) / width_);
+    if (bucket >= counts_.size()) bucket = counts_.size() - 1;
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  if (std::isfinite(x)) {
+    double expected = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(expected, expected + x,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+}
+
+std::uint64_t HistogramMetric::count(std::size_t bucket) const {
+  SPEC_EXPECTS(bucket < counts_.size());
+  return counts_[bucket].load(std::memory_order_relaxed);
+}
+
+double HistogramMetric::bucket_lo(std::size_t bucket) const {
+  SPEC_EXPECTS(bucket < counts_.size());
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double HistogramMetric::bucket_hi(std::size_t bucket) const {
+  SPEC_EXPECTS(bucket < counts_.size());
+  return bucket + 1 == counts_.size() ? hi_
+                                      : lo_ + width_ * static_cast<double>(bucket + 1);
+}
+
+CounterRef MetricsRegistry::counter(const std::string& name) {
+  if (!metrics_enabled()) return CounterRef{};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return CounterRef{slot.get()};
+}
+
+GaugeRef MetricsRegistry::gauge(const std::string& name) {
+  if (!metrics_enabled()) return GaugeRef{};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return GaugeRef{slot.get()};
+}
+
+HistogramRef MetricsRegistry::histogram(const std::string& name, double lo,
+                                        double hi, std::size_t buckets) {
+  if (!metrics_enabled()) return HistogramRef{};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<HistogramMetric>(lo, hi, buckets);
+  return HistogramRef{slot.get()};
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+Json MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_) counters.set(name, c->value());
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) gauges.set(name, g->value());
+  Json histograms = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    Json buckets = Json::array();
+    for (std::size_t b = 0; b < h->bucket_count(); ++b) {
+      Json bucket = Json::object();
+      bucket.set("lo", h->bucket_lo(b));
+      bucket.set("hi", h->bucket_hi(b));
+      bucket.set("count", h->count(b));
+      buckets.push_back(std::move(bucket));
+    }
+    Json entry = Json::object();
+    entry.set("total", h->total());
+    entry.set("sum", h->sum());
+    entry.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(entry));
+  }
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace specomp::obs

@@ -1,0 +1,170 @@
+#include "obs/run_report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace specomp::obs {
+
+void RunReport::fill_phases(const std::vector<runtime::PhaseTimer>& timers,
+                            long run_iterations) {
+  phases.clear();
+  ranks = timers.size();
+  iterations = run_iterations;
+  const double denom =
+      static_cast<double>(timers.size()) *
+      static_cast<double>(run_iterations > 0 ? run_iterations : 1);
+  for (std::size_t p = 0; p < static_cast<std::size_t>(runtime::Phase::kCount);
+       ++p) {
+    const auto phase = static_cast<runtime::Phase>(p);
+    double total = 0.0;
+    for (const auto& timer : timers) total += timer.get(phase).to_seconds();
+    PhaseRow row;
+    row.phase = runtime::phase_name(phase);
+    row.total_seconds = total;
+    row.mean_per_iteration_seconds = total / denom;
+    phases.push_back(std::move(row));
+  }
+}
+
+void RunReport::fill_spec(const spec::SpecStats& stats) {
+  blocks_received_in_time = stats.blocks_received_in_time;
+  blocks_speculated = stats.blocks_speculated;
+  checks = stats.checks;
+  failures = stats.failures;
+  incremental_corrections = stats.incremental_corrections;
+  replayed_iterations = stats.replayed_iterations;
+  failure_fraction = stats.failure_fraction();
+  error_mean = stats.checks > 0 ? stats.error.mean() : 0.0;
+  error_max = stats.checks > 0 ? stats.error.max() : 0.0;
+  max_window_used = stats.max_window_used;
+}
+
+void RunReport::fill_channel(const net::ChannelStats& stats) {
+  messages = stats.messages;
+  bytes = stats.bytes;
+  mean_delay_seconds = stats.messages > 0 ? stats.delay_seconds.mean() : 0.0;
+}
+
+void RunReport::fill_cluster(const runtime::Cluster& cluster) {
+  cluster_ops_per_sec.clear();
+  for (const auto& machine : cluster.machines())
+    cluster_ops_per_sec.push_back(machine.ops_per_sec);
+}
+
+double RunReport::phase_mean_per_iteration(const std::string& phase) const {
+  for (const auto& row : phases)
+    if (row.phase == phase) return row.mean_per_iteration_seconds;
+  return 0.0;
+}
+
+Json RunReport::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", kRunReportSchema);
+  doc.set("binary", binary);
+
+  Json config = Json::object();
+  config.set("backend", backend);
+  config.set("algorithm", algorithm);
+  config.set("speculator", speculator);
+  config.set("forward_window", forward_window);
+  config.set("theta", theta);
+  config.set("iterations", iterations);
+  config.set("ranks", ranks);
+  Json shape = Json::array();
+  for (const double m : cluster_ops_per_sec) shape.push_back(m);
+  config.set("cluster_ops_per_sec", std::move(shape));
+  doc.set("config", std::move(config));
+
+  Json timing = Json::object();
+  timing.set("makespan_seconds", makespan_seconds);
+  Json phase_rows = Json::array();
+  for (const auto& row : phases) {
+    Json r = Json::object();
+    r.set("phase", row.phase);
+    r.set("total_seconds", row.total_seconds);
+    r.set("mean_per_iteration_seconds", row.mean_per_iteration_seconds);
+    phase_rows.push_back(std::move(r));
+  }
+  timing.set("phases", std::move(phase_rows));
+  doc.set("timing", std::move(timing));
+
+  Json spec = Json::object();
+  spec.set("blocks_received_in_time", blocks_received_in_time);
+  spec.set("blocks_speculated", blocks_speculated);
+  spec.set("checks", checks);
+  spec.set("failures", failures);
+  spec.set("incremental_corrections", incremental_corrections);
+  spec.set("replayed_iterations", replayed_iterations);
+  spec.set("failure_fraction", failure_fraction);
+  spec.set("error_mean", error_mean);
+  spec.set("error_max", error_max);
+  spec.set("max_window_used", max_window_used);
+  doc.set("speculation", std::move(spec));
+
+  Json comm = Json::object();
+  comm.set("messages", messages);
+  comm.set("bytes", bytes);
+  comm.set("mean_delay_seconds", mean_delay_seconds);
+  doc.set("network", std::move(comm));
+
+  if (!extra.is_null()) doc.set("extra", extra);
+  return doc;
+}
+
+RunReport RunReport::from_json(const Json& doc) {
+  if (!doc.is_object() || doc.at("schema").as_string() != kRunReportSchema)
+    throw std::runtime_error("RunReport: unrecognised schema");
+  RunReport report;
+  report.binary = doc.at("binary").as_string();
+
+  const Json& config = doc.at("config");
+  report.backend = config.at("backend").as_string();
+  report.algorithm = config.at("algorithm").as_string();
+  report.speculator = config.at("speculator").as_string();
+  report.forward_window = static_cast<int>(config.at("forward_window").as_int());
+  report.theta = config.at("theta").as_double();
+  report.iterations = static_cast<long>(config.at("iterations").as_int());
+  report.ranks = static_cast<std::size_t>(config.at("ranks").as_uint());
+  for (const Json& m : config.at("cluster_ops_per_sec").as_array())
+    report.cluster_ops_per_sec.push_back(m.as_double());
+
+  const Json& timing = doc.at("timing");
+  report.makespan_seconds = timing.at("makespan_seconds").as_double();
+  for (const Json& r : timing.at("phases").as_array()) {
+    PhaseRow row;
+    row.phase = r.at("phase").as_string();
+    row.total_seconds = r.at("total_seconds").as_double();
+    row.mean_per_iteration_seconds =
+        r.at("mean_per_iteration_seconds").as_double();
+    report.phases.push_back(std::move(row));
+  }
+
+  const Json& spec = doc.at("speculation");
+  report.blocks_received_in_time = spec.at("blocks_received_in_time").as_uint();
+  report.blocks_speculated = spec.at("blocks_speculated").as_uint();
+  report.checks = spec.at("checks").as_uint();
+  report.failures = spec.at("failures").as_uint();
+  report.incremental_corrections = spec.at("incremental_corrections").as_uint();
+  report.replayed_iterations = spec.at("replayed_iterations").as_uint();
+  report.failure_fraction = spec.at("failure_fraction").as_double();
+  report.error_mean = spec.at("error_mean").as_double();
+  report.error_max = spec.at("error_max").as_double();
+  report.max_window_used = static_cast<int>(spec.at("max_window_used").as_int());
+
+  const Json& comm = doc.at("network");
+  report.messages = comm.at("messages").as_uint();
+  report.bytes = comm.at("bytes").as_uint();
+  report.mean_delay_seconds = comm.at("mean_delay_seconds").as_double();
+
+  if (const Json* extra = doc.find("extra")) report.extra = *extra;
+  return report;
+}
+
+bool RunReport::write(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_json().dump(2) << "\n";
+  return static_cast<bool>(os);
+}
+
+}  // namespace specomp::obs

@@ -1,0 +1,89 @@
+// Structured end-of-run report.
+//
+// One JSON document per run with a stable schema ("specomp.run_report.v1"),
+// collecting everything the paper's evaluation tables need: the run
+// configuration (FW, θ, speculator, cluster shape), the Table-2 phase
+// breakdown from runtime::PhaseTimer, the Table-3 speculation outcome from
+// spec::SpecStats, and the network totals from net::ChannelStats.  Every
+// bench binary and example can emit one, so BENCH_*.json trajectories are
+// comparable across PRs.  from_json() restores a report, which is how the
+// tests prove the schema round-trips.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "obs/json.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/phase_timer.hpp"
+#include "spec/stats.hpp"
+
+namespace specomp::obs {
+
+inline constexpr const char* kRunReportSchema = "specomp.run_report.v1";
+
+struct RunReport {
+  // ---- Identity & configuration ----
+  std::string binary;              // emitting program, e.g. "nbody_sim"
+  std::string backend = "sim";     // "sim" or "thread"
+  std::string algorithm;           // e.g. "speculative", "fig7-baseline"
+  std::string speculator;          // empty when not speculating
+  int forward_window = 0;          // FW
+  double theta = 0.0;              // θ
+  long iterations = 0;
+  std::size_t ranks = 0;
+  /// Cluster shape: per-rank capacity M_i in ops/s, fastest first.
+  std::vector<double> cluster_ops_per_sec;
+
+  // ---- Timing (Table 2) ----
+  double makespan_seconds = 0.0;
+  struct PhaseRow {
+    std::string phase;             // runtime::phase_name()
+    double total_seconds = 0.0;    // summed over all ranks
+    double mean_per_iteration_seconds = 0.0;  // total / (ranks * iterations)
+  };
+  std::vector<PhaseRow> phases;
+
+  // ---- Speculation outcome (Table 3) ----
+  std::uint64_t blocks_received_in_time = 0;
+  std::uint64_t blocks_speculated = 0;
+  std::uint64_t checks = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t incremental_corrections = 0;
+  std::uint64_t replayed_iterations = 0;
+  double failure_fraction = 0.0;   // the paper's k
+  double error_mean = 0.0;
+  double error_max = 0.0;
+  int max_window_used = 0;
+
+  // ---- Network totals ----
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  double mean_delay_seconds = 0.0;
+
+  /// Free-form per-binary additions, emitted under "extra".
+  Json extra;
+
+  // ---- Fillers ----
+
+  /// Phase totals summed across `timers`, means divided by ranks*iterations
+  /// — the same arithmetic the ASCII per-phase printouts use.
+  void fill_phases(const std::vector<runtime::PhaseTimer>& timers,
+                   long run_iterations);
+  void fill_spec(const spec::SpecStats& stats);
+  void fill_channel(const net::ChannelStats& stats);
+  void fill_cluster(const runtime::Cluster& cluster);
+
+  /// Mean per-iteration seconds recorded for `phase` (0 when absent).
+  double phase_mean_per_iteration(const std::string& phase) const;
+
+  Json to_json() const;
+  static RunReport from_json(const Json& doc);
+
+  /// Serialises to `path` (pretty-printed); returns false on I/O failure.
+  bool write(const std::string& path) const;
+};
+
+}  // namespace specomp::obs

@@ -1,0 +1,127 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace specomp::obs {
+
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+
+std::size_t inferred_lanes(const des::Trace& trace) {
+  std::uint64_t max_lane = 0;
+  bool any = false;
+  for (const auto& span : trace.spans()) {
+    max_lane = std::max(max_lane, span.lane);
+    any = true;
+  }
+  for (const auto& ev : trace.events()) {
+    max_lane = std::max(max_lane, ev.lane);
+    any = true;
+  }
+  return any ? static_cast<std::size_t>(max_lane) + 1 : 0;
+}
+
+}  // namespace
+
+void export_trace(const des::Trace& trace, TraceSink& sink, std::size_t lanes) {
+  if (lanes == 0) lanes = inferred_lanes(trace);
+  sink.begin(lanes);
+  for (const auto& span : trace.spans()) sink.span(span);
+  for (const auto& ev : trace.events()) sink.event(ev);
+  sink.end();
+}
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& os, std::string process_name)
+    : os_(os), process_name_(std::move(process_name)) {}
+
+void ChromeTraceSink::comma() {
+  if (!first_) os_ << ",\n";
+  first_ = false;
+}
+
+void ChromeTraceSink::begin(std::size_t lanes) {
+  os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  comma();
+  os_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":" << json_quote(process_name_) << "}}";
+  // One named track per rank: tid = lane, labelled via thread_name metadata.
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    comma();
+    os_ << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << lane
+        << ",\"args\":{\"name\":\"rank " << lane << "\"}}";
+  }
+}
+
+void ChromeTraceSink::span(const des::Span& span) {
+  comma();
+  const double ts = span.begin.to_seconds() * kMicrosPerSecond;
+  const double dur =
+      std::max((span.end - span.begin).to_seconds(), 0.0) * kMicrosPerSecond;
+  os_ << "{\"name\":" << json_quote(des::span_name(span.kind))
+      << ",\"cat\":\"span\",\"ph\":\"X\",\"ts\":" << json_number(ts)
+      << ",\"dur\":" << json_number(dur) << ",\"pid\":0,\"tid\":" << span.lane;
+  if (!span.label.empty())
+    os_ << ",\"args\":{\"label\":" << json_quote(span.label) << "}";
+  os_ << "}";
+}
+
+void ChromeTraceSink::event(const des::PointEvent& event) {
+  comma();
+  const double ts = event.at.to_seconds() * kMicrosPerSecond;
+  os_ << "{\"name\":" << json_quote(event.label.empty() ? "event" : event.label)
+      << ",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+      << json_number(ts) << ",\"pid\":0,\"tid\":" << event.lane << "}";
+}
+
+void ChromeTraceSink::end() { os_ << "\n]}\n"; }
+
+void JsonlTraceSink::span(const des::Span& span) {
+  Json line = Json::object();
+  line.set("type", "span");
+  line.set("lane", span.lane);
+  line.set("kind", des::span_name(span.kind));
+  line.set("begin_s", span.begin.to_seconds());
+  line.set("end_s", span.end.to_seconds());
+  if (!span.label.empty()) line.set("label", span.label);
+  os_ << line.dump() << "\n";
+}
+
+void JsonlTraceSink::event(const des::PointEvent& event) {
+  Json line = Json::object();
+  line.set("type", "event");
+  line.set("lane", event.lane);
+  line.set("at_s", event.at.to_seconds());
+  line.set("label", event.label);
+  os_ << line.dump() << "\n";
+}
+
+void write_chrome_trace(const des::Trace& trace, std::ostream& os,
+                        std::size_t lanes) {
+  ChromeTraceSink sink(os);
+  export_trace(trace, sink, lanes);
+}
+
+void write_trace_jsonl(const des::Trace& trace, std::ostream& os,
+                       std::size_t lanes) {
+  JsonlTraceSink sink(os);
+  export_trace(trace, sink, lanes);
+}
+
+bool write_trace_file(const des::Trace& trace, const std::string& path,
+                      std::size_t lanes) {
+  std::ofstream os(path);
+  if (!os) return false;
+  if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0) {
+    write_trace_jsonl(trace, os, lanes);
+  } else {
+    write_chrome_trace(trace, os, lanes);
+  }
+  return static_cast<bool>(os);
+}
+
+}  // namespace specomp::obs

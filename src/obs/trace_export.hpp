@@ -1,0 +1,84 @@
+// Machine-readable exporters for des::Trace.
+//
+// The DES already records the exact wait/compute/speculate interleaving the
+// paper's Figures 2 and 4 visualise; these sinks turn that recording into
+// files tools can open:
+//
+//  * ChromeTraceSink — Chrome trace-event JSON ("ph":"X" complete events),
+//    loadable in Perfetto / chrome://tracing.  Ranks appear as named tracks
+//    ("rank 0", "rank 1", ...) via thread_name metadata; timestamps are in
+//    microseconds of simulated time.
+//  * JsonlTraceSink — one JSON object per line (type "span" or "event"),
+//    convenient for jq/python scripting.
+//
+// export_trace() replays a Trace through any sink; write_* helpers bundle
+// the common sink-to-stream cases.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "des/trace.hpp"
+
+namespace specomp::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Called once before any span/event, with the number of lanes (ranks).
+  virtual void begin(std::size_t lanes) { (void)lanes; }
+  virtual void span(const des::Span& span) = 0;
+  virtual void event(const des::PointEvent& event) = 0;
+  /// Called once after the last span/event.
+  virtual void end() {}
+};
+
+/// Streams spans then events of `trace` through `sink`.  `lanes` of 0 means
+/// "infer from the trace" (max lane + 1).
+void export_trace(const des::Trace& trace, TraceSink& sink,
+                  std::size_t lanes = 0);
+
+class ChromeTraceSink final : public TraceSink {
+ public:
+  /// `process_name` labels the single pid-0 process row in the viewer.
+  explicit ChromeTraceSink(std::ostream& os,
+                           std::string process_name = "specomp");
+
+  void begin(std::size_t lanes) override;
+  void span(const des::Span& span) override;
+  void event(const des::PointEvent& event) override;
+  void end() override;
+
+ private:
+  void comma();
+
+  std::ostream& os_;
+  std::string process_name_;
+  bool first_ = true;
+};
+
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& os) : os_(os) {}
+
+  void span(const des::Span& span) override;
+  void event(const des::PointEvent& event) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Writes `trace` as Chrome trace-event JSON.
+void write_chrome_trace(const des::Trace& trace, std::ostream& os,
+                        std::size_t lanes = 0);
+/// Writes `trace` as newline-delimited JSON.
+void write_trace_jsonl(const des::Trace& trace, std::ostream& os,
+                       std::size_t lanes = 0);
+/// Writes to `path`, picking the format from the extension: ".jsonl" gets
+/// JSONL, anything else Chrome trace JSON.  Returns false on I/O failure.
+bool write_trace_file(const des::Trace& trace, const std::string& path,
+                      std::size_t lanes = 0);
+
+}  // namespace specomp::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "support/contracts.hpp"
 
 namespace specomp::runtime {
@@ -9,6 +10,7 @@ namespace specomp::runtime {
 std::vector<std::vector<double>> gather(Communicator& comm, net::Rank root,
                                         std::span<const double> local, int tag) {
   SPEC_EXPECTS(root >= 0 && root < comm.size());
+  obs::metrics().counter("coll.gather").inc();
   std::vector<std::vector<double>> blocks;
   if (comm.rank() == root) {
     blocks.resize(static_cast<std::size_t>(comm.size()));
@@ -26,6 +28,7 @@ std::vector<std::vector<double>> gather(Communicator& comm, net::Rank root,
 void broadcast(Communicator& comm, net::Rank root, std::vector<double>& data,
                int tag) {
   SPEC_EXPECTS(root >= 0 && root < comm.size());
+  obs::metrics().counter("coll.broadcast").inc();
   if (comm.rank() == root) {
     for (int r = 0; r < comm.size(); ++r)
       if (r != root) comm.send_doubles(r, tag, data);
@@ -40,6 +43,7 @@ template <typename Fold>
 double allreduce(Communicator& comm, double value, int tag, Fold&& fold) {
   // Fan-in to rank 0, fold, fan-out — the simple linear scheme the paper's
   // PVM codes used.  Two tags keep the phases apart.
+  obs::metrics().counter("coll.allreduce").inc();
   constexpr net::Rank kRoot = 0;
   const std::vector<double> mine{value};
   const auto blocks = gather(comm, kRoot, mine, tag);

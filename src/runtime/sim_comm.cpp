@@ -136,6 +136,7 @@ void SimCommunicator::send(net::Rank dst, int tag,
   msg.seq = next_seq_++;
   msg.sent_at = process_->now();
   msg.payload = std::move(payload);
+  record_send(msg.payload.size());
 
   const des::SimTime delivered = world_.channel().post(msg, process_->now());
   msg.delivered_at = delivered;
@@ -163,6 +164,7 @@ bool SimCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
   if (best == mailbox_.end()) return false;
   out = std::move(*best);
   mailbox_.erase(best);
+  record_receive(out.payload.size());
   return true;
 }
 
@@ -179,6 +181,8 @@ net::Message SimCommunicator::recv_matching(Pred&& matches) {
       mailbox_.erase(best);
       const des::SimTime waited = process_->now() - begin;
       timer_.add(Phase::Communicate, waited);
+      record_receive(msg.payload.size());
+      record_recv_wait(waited.to_seconds());
       if (des::Trace* trace = world_.trace();
           trace != nullptr && waited > des::SimTime::zero()) {
         trace->add_span(static_cast<std::uint64_t>(rank_), des::SpanKind::Wait,

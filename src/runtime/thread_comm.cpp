@@ -178,6 +178,7 @@ void ThreadCommunicator::send(net::Rank dst, int tag,
   msg.tag = tag;
   msg.seq = next_seq_++;
   msg.payload = std::move(payload);
+  record_send(msg.payload.size());
   world_.mailbox(dst).deliver(
       TimedMessage{std::move(msg), Clock::now() + world_.sample_latency()});
 }
@@ -187,6 +188,7 @@ bool ThreadCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
       [src, tag](const net::Message& m) { return m.src == src && m.tag == tag; });
   if (!msg) return false;
   out = std::move(*msg);
+  record_receive(out.payload.size());
   return true;
 }
 
@@ -194,7 +196,10 @@ net::Message ThreadCommunicator::recv(net::Rank src, int tag) {
   const auto begin = Clock::now();
   net::Message msg = world_.mailbox(rank_).take_blocking(
       [src, tag](const net::Message& m) { return m.src == src && m.tag == tag; });
-  timer_.add(Phase::Communicate, elapsed_since(begin));
+  const des::SimTime waited = elapsed_since(begin);
+  timer_.add(Phase::Communicate, waited);
+  record_receive(msg.payload.size());
+  record_recv_wait(waited.to_seconds());
   return msg;
 }
 
@@ -202,7 +207,10 @@ net::Message ThreadCommunicator::recv_any(int tag) {
   const auto begin = Clock::now();
   net::Message msg = world_.mailbox(rank_).take_blocking(
       [tag](const net::Message& m) { return m.tag == tag; });
-  timer_.add(Phase::Communicate, elapsed_since(begin));
+  const des::SimTime waited = elapsed_since(begin);
+  timer_.add(Phase::Communicate, waited);
+  record_receive(msg.payload.size());
+  record_recv_wait(waited.to_seconds());
   return msg;
 }
 

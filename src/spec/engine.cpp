@@ -19,6 +19,20 @@ std::vector<double> decode_block(const net::Message& msg) {
 
 }  // namespace
 
+SpecEngine::Metrics::Metrics()
+    : iterations(obs::metrics().counter("engine.iterations")),
+      speculated(obs::metrics().counter("engine.blocks_speculated")),
+      received_in_time(obs::metrics().counter("engine.blocks_received_in_time")),
+      checks(obs::metrics().counter("engine.checks")),
+      failures(obs::metrics().counter("engine.check_failures")),
+      incremental_corrections(
+          obs::metrics().counter("engine.incremental_corrections")),
+      rollbacks(obs::metrics().counter("engine.rollbacks")),
+      replayed_iterations(obs::metrics().counter("engine.replayed_iterations")),
+      forward_window(obs::metrics().gauge("engine.forward_window")),
+      check_error(obs::metrics().histogram("engine.check_error", 0.0, 0.1, 50)) {
+}
+
 SpecEngine::SpecEngine(runtime::Communicator& comm, SyncIterativeApp& app,
                        EngineConfig config,
                        std::vector<std::vector<double>> initial_blocks)
@@ -60,6 +74,8 @@ SpecStats SpecEngine::run(long iterations) {
   app_.compute_step();
   comm_.compute(app_.compute_ops(), Phase::Compute);
   ++stats_.iterations;
+  metrics_.iterations.inc();
+  metrics_.forward_window.set(fw_now_);
   comm_.timer().bump_iterations();
   next_compute_ = 1;
 
@@ -104,6 +120,7 @@ SpecStats SpecEngine::run(long iterations) {
           histories_[static_cast<std::size_t>(k)].record(t, slot.block);
         app_.install_peer(k, slot.block);
         ++stats_.blocks_received_in_time;
+        metrics_.received_in_time.inc();
         continue;
       }
       if (fw_now_ == 0) {
@@ -118,6 +135,7 @@ SpecStats SpecEngine::run(long iterations) {
       ++record.unresolved;
       ++outstanding_[static_cast<std::size_t>(k)];
       ++stats_.blocks_speculated;
+      metrics_.speculated.inc();
       any_speculated = true;
     }
 
@@ -132,6 +150,7 @@ SpecStats SpecEngine::run(long iterations) {
     comm_.mark_speculative(false);
     next_compute_ = t + 1;
     ++stats_.iterations;
+    metrics_.iterations.inc();
     comm_.timer().bump_iterations();
 
     while (!window_.empty() && window_.front().unresolved == 0)
@@ -206,8 +225,10 @@ void SpecEngine::resolve_receipt(int k, long s, std::span<const double> actual) 
 
   charge_check(k);
   ++stats_.checks;
+  metrics_.checks.inc();
   const double err = app_.speculation_error(k, slot.block, actual);
   stats_.error.add(err);
+  metrics_.check_error.observe(err);
   const bool acceptable = err <= config_.threshold;
 
   // From here on the record holds the real block (replays must use it).
@@ -218,12 +239,14 @@ void SpecEngine::resolve_receipt(int k, long s, std::span<const double> actual) 
 
   if (!acceptable) {
     ++stats_.failures;
+    metrics_.failures.inc();
     bool corrected = false;
     if (config_.allow_incremental_correction && s == next_compute_ - 1) {
       corrected = app_.correct_last_step(k, actual);
       if (corrected) {
         comm_.compute(app_.correct_ops(k), Phase::Correct);
         ++stats_.incremental_corrections;
+        metrics_.incremental_corrections.inc();
       }
     }
     if (!corrected) rollback_and_replay(s);
@@ -234,6 +257,7 @@ void SpecEngine::resolve_receipt(int k, long s, std::span<const double> actual) 
 }
 
 void SpecEngine::rollback_and_replay(long s) {
+  metrics_.rollbacks.inc();
   std::size_t start = window_.size();
   for (std::size_t i = 0; i < window_.size(); ++i) {
     if (window_[i].t == s) {
@@ -265,6 +289,7 @@ void SpecEngine::rollback_and_replay(long s) {
     comm_.compute(app_.compute_ops(), Phase::Correct);
     comm_.mark_speculative(false);
     ++stats_.replayed_iterations;
+    metrics_.replayed_iterations.inc();
   }
 }
 
@@ -312,6 +337,7 @@ void SpecEngine::consult_window_policy(long iteration) {
 
   fw_now_ = std::clamp(config_.window_policy->next_window(feedback), 0,
                        config_.max_forward_window);
+  metrics_.forward_window.set(fw_now_);
 }
 
 }  // namespace specomp::spec

@@ -44,6 +44,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/communicator.hpp"
 #include "spec/adaptive.hpp"
 #include "spec/app.hpp"
@@ -144,6 +145,22 @@ class SpecEngine {
   std::uint64_t last_failures_ = 0;
   std::uint64_t last_speculated_ = 0;
   SpecStats stats_;
+  // Telemetry; no-ops unless obs::set_metrics_enabled(true) preceded
+  // engine construction (see obs/metrics.hpp).  Aggregated across ranks.
+  struct Metrics {
+    Metrics();
+    obs::CounterRef iterations;
+    obs::CounterRef speculated;
+    obs::CounterRef received_in_time;
+    obs::CounterRef checks;
+    obs::CounterRef failures;
+    obs::CounterRef incremental_corrections;
+    obs::CounterRef rollbacks;
+    obs::CounterRef replayed_iterations;
+    obs::GaugeRef forward_window;
+    obs::HistogramRef check_error;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace specomp::spec

@@ -1,6 +1,7 @@
 #include "support/table.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -87,6 +88,13 @@ std::string Table::csv() const {
     os << "\n";
   }
   return os.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << csv();
+  return static_cast<bool>(os);
 }
 
 std::ostream& operator<<(std::ostream& os, const Table& table) {

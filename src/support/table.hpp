@@ -22,11 +22,17 @@ class Table {
   Table& add(int value);
 
   std::size_t rows() const noexcept { return cells_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
   const std::string& cell(std::size_t r, std::size_t c) const;
 
   /// Column-aligned markdown (the default human-readable output).
   std::string markdown() const;
   std::string csv() const;
+  /// RFC-4180 CSV, identical to csv(); the name the bench harnesses use.
+  std::string to_csv() const { return csv(); }
+  /// Writes to_csv() to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
 
  private:
   std::vector<std::string> headers_;

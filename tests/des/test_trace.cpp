@@ -46,6 +46,50 @@ TEST(Trace, TinySpanStillVisible) {
   EXPECT_NE(art.find('k'), std::string::npos);
 }
 
+TEST(Trace, EventPastLastSpanStaysOnChart) {
+  Trace trace;
+  trace.add_span(0, SpanKind::Compute, SimTime::zero(), SimTime::seconds(4));
+  trace.add_event(0, SimTime::seconds(10), "late spike");
+  EXPECT_DOUBLE_EQ(trace.horizon().to_seconds(), 10.0);
+  const std::string art = trace.gantt(1, 40);
+  const auto row_start = art.find("P0 |");
+  ASSERT_NE(row_start, std::string::npos);
+  const std::string row = art.substr(row_start + 4, 40);
+  // The event must land inside the 40-column row (at its right edge), not
+  // silently fall off the chart.
+  EXPECT_EQ(row[39], '!');
+  // The span still covers the left 40% of the chart.
+  EXPECT_EQ(row[0], 'C');
+  EXPECT_EQ(row[14], 'C');
+}
+
+TEST(Trace, ZeroHorizonRendersCleanly) {
+  Trace trace;
+  trace.add_span(0, SpanKind::Compute, SimTime::zero(), SimTime::zero());
+  trace.add_event(1, SimTime::zero(), "t0");
+  const std::string art = trace.gantt(2, 40);
+  // Header reports the true (zero) horizon rather than a denormal epsilon.
+  EXPECT_NE(art.find(" 0 s\n"), std::string::npos);
+  const auto p0 = art.find("P0 |");
+  const auto p1 = art.find("P1 |");
+  ASSERT_NE(p0, std::string::npos);
+  ASSERT_NE(p1, std::string::npos);
+  // Full-width rows with the instant activity pinned to column 0.
+  EXPECT_EQ(art[p0 + 4], 'C');
+  EXPECT_EQ(art[p1 + 4], '!');
+  EXPECT_EQ(art.substr(p0 + 5, 39), std::string(39, ' '));
+}
+
+TEST(Trace, NegativeTimesClampToChartStart) {
+  Trace trace;
+  trace.add_span(0, SpanKind::Compute, SimTime::zero(), SimTime::seconds(2));
+  trace.add_event(0, SimTime::seconds(-1), "pre-start");
+  const std::string art = trace.gantt(1, 40);
+  const auto p0 = art.find("P0 |");
+  ASSERT_NE(p0, std::string::npos);
+  EXPECT_EQ(art[p0 + 4], '!');  // clamped to column 0, no out-of-range write
+}
+
 TEST(Trace, ClearResets) {
   Trace trace;
   trace.add_span(0, SpanKind::Compute, SimTime::zero(), SimTime::seconds(1));

@@ -1,0 +1,164 @@
+// MetricsRegistry semantics: the disabled-by-default zero-cost contract,
+// concurrent updates from real threads (the ThreadCommunicator backend), and
+// the byte-count bookkeeping of the simulated backend.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "runtime/sim_comm.hpp"
+#include "runtime/thread_comm.hpp"
+
+namespace specomp::obs {
+namespace {
+
+/// Restores the disabled default and clears the registry around each test so
+/// cases compose regardless of execution order.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(false);
+    metrics().reset();
+  }
+  void TearDown() override {
+    set_metrics_enabled(false);
+    metrics().reset();
+  }
+};
+
+TEST_F(MetricsTest, DisabledRegistryHandsOutNullRefs) {
+  const CounterRef c = metrics().counter("off.counter");
+  const GaugeRef g = metrics().gauge("off.gauge");
+  const HistogramRef h = metrics().histogram("off.hist", 0.0, 1.0, 4);
+  EXPECT_FALSE(c.live());
+  EXPECT_FALSE(g.live());
+  EXPECT_FALSE(h.live());
+  // Updates through null refs are harmless no-ops and register nothing.
+  c.inc();
+  g.set(2.0);
+  h.observe(0.5);
+  EXPECT_EQ(metrics().counter_value("off.counter"), 0u);
+  EXPECT_EQ(metrics().to_json().at("counters").as_object().size(), 0u);
+}
+
+TEST_F(MetricsTest, EnabledRefsShareTheNamedInstrument) {
+  set_metrics_enabled(true);
+  const CounterRef a = metrics().counter("shared");
+  const CounterRef b = metrics().counter("shared");
+  a.inc(2);
+  b.inc(3);
+  EXPECT_EQ(metrics().counter_value("shared"), 5u);
+}
+
+TEST_F(MetricsTest, HistogramBucketsSaturateAtTheEdges) {
+  set_metrics_enabled(true);
+  const HistogramRef h = metrics().histogram("lat", 0.0, 1.0, 4);
+  h.observe(-5.0);   // below range -> first bucket
+  h.observe(0.1);    // first bucket
+  h.observe(0.6);    // third bucket
+  h.observe(99.0);   // above range -> last bucket
+  const Json snapshot = metrics().to_json();
+  const Json& hist = snapshot.at("histograms").at("lat");
+  EXPECT_EQ(hist.at("total").as_uint(), 4u);
+  const auto& buckets = hist.at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0].at("count").as_uint(), 2u);
+  EXPECT_EQ(buckets[1].at("count").as_uint(), 0u);
+  EXPECT_EQ(buckets[2].at("count").as_uint(), 1u);
+  EXPECT_EQ(buckets[3].at("count").as_uint(), 1u);
+}
+
+TEST_F(MetricsTest, CountersSurviveConcurrentBumpsFromPlainThreads) {
+  set_metrics_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kBumps = 10000;
+  const CounterRef c = metrics().counter("contended");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([c] {
+      for (int i = 0; i < kBumps; ++i) c.inc();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(metrics().counter_value("contended"),
+            static_cast<std::uint64_t>(kThreads) * kBumps);
+}
+
+TEST_F(MetricsTest, ThreadCommunicatorRanksBumpSharedCommCounters) {
+  set_metrics_enabled(true);
+  constexpr int kRanks = 4;
+  constexpr int kRounds = 25;
+  constexpr std::size_t kPayload = 48;
+
+  runtime::ThreadConfig config;
+  config.cluster = runtime::Cluster::homogeneous(kRanks, 1e9);
+  runtime::run_threaded(config, [&](runtime::Communicator& comm) {
+    // All-to-all rounds: every rank sends to and receives from every peer
+    // concurrently, all bumping the same comm.* counters.
+    for (int round = 0; round < kRounds; ++round) {
+      for (int peer = 0; peer < comm.size(); ++peer) {
+        if (peer == comm.rank()) continue;
+        comm.send(peer, /*tag=*/round, std::vector<std::byte>(kPayload));
+      }
+      for (int peer = 0; peer < comm.size(); ++peer) {
+        if (peer == comm.rank()) continue;
+        (void)comm.recv(peer, /*tag=*/round);
+      }
+    }
+  });
+
+  const auto messages =
+      static_cast<std::uint64_t>(kRanks) * (kRanks - 1) * kRounds;
+  EXPECT_EQ(metrics().counter_value("comm.messages_sent"), messages);
+  EXPECT_EQ(metrics().counter_value("comm.messages_received"), messages);
+  EXPECT_EQ(metrics().counter_value("comm.bytes_sent"), messages * kPayload);
+  EXPECT_EQ(metrics().counter_value("comm.bytes_received"),
+            messages * kPayload);
+}
+
+TEST_F(MetricsTest, SimCommunicatorCountsEveryByteSentAndReceived) {
+  set_metrics_enabled(true);
+  constexpr std::size_t kPayload = 96;
+  constexpr int kMessages = 7;
+
+  runtime::SimConfig config;
+  config.cluster = runtime::Cluster::homogeneous(2, 1e9);
+  runtime::run_simulated(config, [&](runtime::Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kMessages; ++i)
+        comm.send(1, /*tag=*/i, std::vector<std::byte>(kPayload));
+    } else {
+      for (int i = 0; i < kMessages; ++i) (void)comm.recv(0, /*tag=*/i);
+    }
+  });
+
+  EXPECT_EQ(metrics().counter_value("comm.messages_sent"),
+            static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(metrics().counter_value("comm.bytes_sent"), kMessages * kPayload);
+  EXPECT_EQ(metrics().counter_value("comm.messages_received"),
+            static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(metrics().counter_value("comm.bytes_received"),
+            kMessages * kPayload);
+  // The receiver blocked at least once, so the wait histogram saw samples.
+  EXPECT_EQ(metrics()
+                .to_json()
+                .at("histograms")
+                .at("comm.recv_wait_seconds")
+                .at("total")
+                .as_uint(),
+            static_cast<std::uint64_t>(kMessages));
+}
+
+TEST_F(MetricsTest, RefsFetchedWhileDisabledStayNullAfterEnabling) {
+  const CounterRef before = metrics().counter("latched");
+  set_metrics_enabled(true);
+  const CounterRef after = metrics().counter("latched");
+  before.inc();  // no-op: the ref latched the disabled state
+  after.inc();
+  EXPECT_EQ(metrics().counter_value("latched"), 1u);
+}
+
+}  // namespace
+}  // namespace specomp::obs

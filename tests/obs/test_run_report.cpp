@@ -1,0 +1,162 @@
+// RunReport: schema stability, round-trip fidelity, and the guarantee that
+// its phase arithmetic matches the ASCII printouts (sum over ranks divided
+// by ranks * iterations).
+#include "obs/run_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "runtime/phase_timer.hpp"
+#include "spec/stats.hpp"
+
+namespace specomp::obs {
+namespace {
+
+RunReport make_report() {
+  RunReport report;
+  report.binary = "test_binary";
+  report.backend = "sim";
+  report.algorithm = "speculative";
+  report.speculator = "kinematic";
+  report.forward_window = 2;
+  report.theta = 0.01;
+  report.iterations = 10;
+  report.ranks = 4;
+  report.cluster_ops_per_sec = {4e6, 3e6, 2e6, 1e6};
+  report.makespan_seconds = 123.5;
+  report.phases = {{"compute", 40.0, 1.0}, {"communicate", 8.0, 0.2}};
+  report.blocks_received_in_time = 11;
+  report.blocks_speculated = 29;
+  report.checks = 29;
+  report.failures = 3;
+  report.incremental_corrections = 2;
+  report.replayed_iterations = 1;
+  report.failure_fraction = 3.0 / 29.0;
+  report.error_mean = 0.004;
+  report.error_max = 0.02;
+  report.max_window_used = 2;
+  report.messages = 360;
+  report.bytes = 86400;
+  report.mean_delay_seconds = 5.8;
+  report.extra.set("note", Json("round-trip"));
+  return report;
+}
+
+TEST(RunReport, SchemaFieldIsStable) {
+  const Json doc = make_report().to_json();
+  EXPECT_EQ(doc.at("schema").as_string(), "specomp.run_report.v1");
+  EXPECT_EQ(doc.at("schema").as_string(), kRunReportSchema);
+  // The top-level section layout is part of the schema contract.
+  EXPECT_NE(doc.find("config"), nullptr);
+  EXPECT_NE(doc.find("timing"), nullptr);
+  EXPECT_NE(doc.find("speculation"), nullptr);
+  EXPECT_NE(doc.find("network"), nullptr);
+}
+
+TEST(RunReport, RoundTripsThroughSerializedJson) {
+  const RunReport original = make_report();
+  const RunReport restored =
+      RunReport::from_json(Json::parse(original.to_json().dump(2)));
+
+  EXPECT_EQ(restored.binary, original.binary);
+  EXPECT_EQ(restored.backend, original.backend);
+  EXPECT_EQ(restored.algorithm, original.algorithm);
+  EXPECT_EQ(restored.speculator, original.speculator);
+  EXPECT_EQ(restored.forward_window, original.forward_window);
+  EXPECT_EQ(restored.theta, original.theta);
+  EXPECT_EQ(restored.iterations, original.iterations);
+  EXPECT_EQ(restored.ranks, original.ranks);
+  EXPECT_EQ(restored.cluster_ops_per_sec, original.cluster_ops_per_sec);
+  EXPECT_EQ(restored.makespan_seconds, original.makespan_seconds);
+  ASSERT_EQ(restored.phases.size(), original.phases.size());
+  for (std::size_t i = 0; i < original.phases.size(); ++i) {
+    EXPECT_EQ(restored.phases[i].phase, original.phases[i].phase);
+    EXPECT_EQ(restored.phases[i].total_seconds, original.phases[i].total_seconds);
+    EXPECT_EQ(restored.phases[i].mean_per_iteration_seconds,
+              original.phases[i].mean_per_iteration_seconds);
+  }
+  EXPECT_EQ(restored.blocks_received_in_time, original.blocks_received_in_time);
+  EXPECT_EQ(restored.blocks_speculated, original.blocks_speculated);
+  EXPECT_EQ(restored.checks, original.checks);
+  EXPECT_EQ(restored.failures, original.failures);
+  EXPECT_EQ(restored.incremental_corrections, original.incremental_corrections);
+  EXPECT_EQ(restored.replayed_iterations, original.replayed_iterations);
+  EXPECT_EQ(restored.failure_fraction, original.failure_fraction);
+  EXPECT_EQ(restored.error_mean, original.error_mean);
+  EXPECT_EQ(restored.error_max, original.error_max);
+  EXPECT_EQ(restored.max_window_used, original.max_window_used);
+  EXPECT_EQ(restored.messages, original.messages);
+  EXPECT_EQ(restored.bytes, original.bytes);
+  EXPECT_EQ(restored.mean_delay_seconds, original.mean_delay_seconds);
+  EXPECT_EQ(restored.extra.at("note").as_string(), "round-trip");
+
+  // And the round trip is idempotent at the document level.
+  EXPECT_EQ(restored.to_json().dump(), original.to_json().dump());
+}
+
+TEST(RunReport, FromJsonRejectsWrongSchema) {
+  Json doc = make_report().to_json();
+  doc.set("schema", Json("something.else.v9"));
+  EXPECT_THROW(RunReport::from_json(doc), std::runtime_error);
+}
+
+TEST(RunReport, FillPhasesMatchesAsciiArithmetic) {
+  // Two ranks, three iterations: compute 6 s total on rank 0 and 3 s on
+  // rank 1 -> mean per iteration = 9 / (2 * 3) = 1.5 s, exactly what the
+  // examples print as "mean over ranks".
+  runtime::PhaseTimer t0;
+  t0.add(runtime::Phase::Compute, des::SimTime::seconds(6.0));
+  t0.add(runtime::Phase::Communicate, des::SimTime::seconds(1.0));
+  runtime::PhaseTimer t1;
+  t1.add(runtime::Phase::Compute, des::SimTime::seconds(3.0));
+
+  RunReport report;
+  report.fill_phases({t0, t1}, /*run_iterations=*/3);
+  EXPECT_EQ(report.ranks, 2u);
+  EXPECT_DOUBLE_EQ(report.phase_mean_per_iteration("compute"), 1.5);
+  EXPECT_DOUBLE_EQ(report.phase_mean_per_iteration("communicate"), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(report.phase_mean_per_iteration("correct"), 0.0);
+
+  double compute_total = 0.0;
+  for (const auto& row : report.phases)
+    if (row.phase == "compute") compute_total = row.total_seconds;
+  EXPECT_DOUBLE_EQ(compute_total, 9.0);
+}
+
+TEST(RunReport, FillSpecCopiesCountersAndErrorStats) {
+  spec::SpecStats stats;
+  stats.blocks_speculated = 20;
+  stats.blocks_received_in_time = 5;
+  stats.checks = 20;
+  stats.failures = 4;
+  stats.incremental_corrections = 3;
+  stats.replayed_iterations = 2;
+  stats.max_window_used = 2;
+  stats.error.add(0.01);
+  stats.error.add(0.03);
+
+  RunReport report;
+  report.fill_spec(stats);
+  EXPECT_EQ(report.blocks_speculated, 20u);
+  EXPECT_EQ(report.failures, 4u);
+  EXPECT_DOUBLE_EQ(report.failure_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(report.error_mean, 0.02);
+  EXPECT_DOUBLE_EQ(report.error_max, 0.03);
+  EXPECT_EQ(report.max_window_used, 2);
+}
+
+TEST(RunReport, WriteProducesParsableFile) {
+  const std::string path = ::testing::TempDir() + "run_report_test.json";
+  ASSERT_TRUE(make_report().write(path));
+  std::ifstream in(path);
+  std::stringstream text;
+  text << in.rdbuf();
+  const RunReport restored = RunReport::from_json(Json::parse(text.str()));
+  EXPECT_EQ(restored.binary, "test_binary");
+}
+
+}  // namespace
+}  // namespace specomp::obs

@@ -1,0 +1,153 @@
+// Trace exporters: the Chrome trace-event document must be well-formed JSON
+// with one named track per rank, and the JSONL form one object per line.
+#include "obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "des/trace.hpp"
+#include "obs/json.hpp"
+
+namespace specomp::obs {
+namespace {
+
+des::Trace make_trace() {
+  des::Trace trace;
+  trace.add_span(0, des::SpanKind::Compute, des::SimTime::seconds(0.0),
+                 des::SimTime::seconds(1.0));
+  trace.add_span(1, des::SpanKind::Wait, des::SimTime::seconds(0.5),
+                 des::SimTime::seconds(2.0), "blocked on rank 0");
+  trace.add_span(0, des::SpanKind::SpeculativeCompute,
+                 des::SimTime::seconds(1.0), des::SimTime::seconds(1.5));
+  trace.add_event(1, des::SimTime::seconds(2.0), "rollback");
+  return trace;
+}
+
+TEST(ChromeTrace, ParsesBackWithOneNamedTrackPerRank) {
+  std::ostringstream os;
+  write_chrome_trace(make_trace(), os, /*lanes=*/2);
+
+  const Json doc = Json::parse(os.str());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = doc.at("traceEvents").as_array();
+
+  std::vector<std::string> tracks;
+  for (const auto& e : events) {
+    if (e.at("ph").as_string() == "M" &&
+        e.at("name").as_string() == "thread_name") {
+      tracks.push_back(e.at("args").at("name").as_string());
+    }
+  }
+  EXPECT_EQ(tracks, (std::vector<std::string>{"rank 0", "rank 1"}));
+}
+
+TEST(ChromeTrace, SpansBecomeCompleteEventsInMicroseconds) {
+  std::ostringstream os;
+  write_chrome_trace(make_trace(), os);
+
+  const Json doc = Json::parse(os.str());
+  int complete = 0;
+  bool found_wait = false;
+  for (const auto& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() != "X") continue;
+    ++complete;
+    EXPECT_GE(e.at("dur").as_double(), 0.0);
+    if (e.at("name").as_string() == std::string(des::span_name(des::SpanKind::Wait))) {
+      found_wait = true;
+      EXPECT_EQ(e.at("ts").as_double(), 0.5e6);
+      EXPECT_EQ(e.at("dur").as_double(), 1.5e6);
+      EXPECT_EQ(e.at("tid").as_int(), 1);
+      EXPECT_EQ(e.at("args").at("label").as_string(), "blocked on rank 0");
+    }
+  }
+  EXPECT_EQ(complete, 3);
+  EXPECT_TRUE(found_wait);
+}
+
+TEST(ChromeTrace, PointEventsBecomeInstants) {
+  std::ostringstream os;
+  write_chrome_trace(make_trace(), os);
+  const Json doc = Json::parse(os.str());
+  bool found = false;
+  for (const auto& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() != "i") continue;
+    found = true;
+    EXPECT_EQ(e.at("name").as_string(), "rollback");
+    EXPECT_EQ(e.at("ts").as_double(), 2.0e6);
+    EXPECT_EQ(e.at("s").as_string(), "t");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ChromeTrace, LanesInferredFromTraceWhenUnspecified) {
+  std::ostringstream os;
+  write_chrome_trace(make_trace(), os, /*lanes=*/0);
+  const Json doc = Json::parse(os.str());
+  int tracks = 0;
+  for (const auto& e : doc.at("traceEvents").as_array())
+    if (e.at("ph").as_string() == "M" &&
+        e.at("name").as_string() == "thread_name")
+      ++tracks;
+  EXPECT_EQ(tracks, 2);  // max lane is 1
+}
+
+TEST(ChromeTrace, EmptyTraceStillWellFormed) {
+  std::ostringstream os;
+  write_chrome_trace(des::Trace{}, os);
+  const Json doc = Json::parse(os.str());
+  for (const auto& e : doc.at("traceEvents").as_array())
+    EXPECT_EQ(e.at("ph").as_string(), "M");
+}
+
+TEST(JsonlTrace, OneParsableObjectPerLine) {
+  std::ostringstream os;
+  write_trace_jsonl(make_trace(), os);
+
+  std::istringstream lines(os.str());
+  std::string line;
+  int spans = 0;
+  int events = 0;
+  while (std::getline(lines, line)) {
+    const Json doc = Json::parse(line);
+    const std::string& type = doc.at("type").as_string();
+    if (type == "span") {
+      ++spans;
+      EXPECT_LE(doc.at("begin_s").as_double(), doc.at("end_s").as_double());
+    } else {
+      EXPECT_EQ(type, "event");
+      ++events;
+      EXPECT_EQ(doc.at("label").as_string(), "rollback");
+    }
+  }
+  EXPECT_EQ(spans, 3);
+  EXPECT_EQ(events, 1);
+}
+
+TEST(TraceFile, ExtensionSelectsFormat) {
+  const des::Trace trace = make_trace();
+  const std::string chrome_path = ::testing::TempDir() + "trace_export.json";
+  const std::string jsonl_path = ::testing::TempDir() + "trace_export.jsonl";
+  ASSERT_TRUE(write_trace_file(trace, chrome_path));
+  ASSERT_TRUE(write_trace_file(trace, jsonl_path));
+
+  std::ifstream chrome(chrome_path);
+  std::stringstream chrome_text;
+  chrome_text << chrome.rdbuf();
+  EXPECT_TRUE(Json::parse(chrome_text.str()).find("traceEvents") != nullptr);
+
+  std::ifstream jsonl(jsonl_path);
+  std::string first;
+  ASSERT_TRUE(std::getline(jsonl, first));
+  EXPECT_EQ(Json::parse(first).at("type").as_string(), "span");
+}
+
+TEST(TraceFile, UnwritablePathReportsFailure) {
+  EXPECT_FALSE(write_trace_file(make_trace(), "/nonexistent-dir/t.json"));
+}
+
+}  // namespace
+}  // namespace specomp::obs
