@@ -1,0 +1,142 @@
+// Force-kernel throughput snapshot: scalar vs tiled vs tiled-mt.
+//
+//   $ ./bench/bench_kernel --reps 5 --report-out BENCH_kernel.json
+//
+// For each N the full N x N accumulation (skip_offset = 0, the
+// all_accelerations shape) runs `reps` times per kernel; the best wall time
+// per kernel yields Mpairs/s and speedup over the scalar reference.  Every
+// tiled result is also checked against the scalar oracle; a max-abs
+// deviation above 1e-10 fails the run (exit 1), which is what the CI perf
+// smoke step relies on.  Wall-clock only — virtual-time accounting in the
+// simulated runs is analytic and does not move with kernel speed.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nbody/init.hpp"
+#include "nbody/kernels/dispatch.hpp"
+#include "nbody/types.hpp"
+#include "obs/artifacts.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace specomp;
+using nbody::Vec3;
+using nbody::kernels::ForceKernel;
+
+struct KernelSample {
+  double best_seconds = 0.0;
+  double max_abs_dev = 0.0;  // vs the scalar result for the same input
+};
+
+double max_abs_deviation(const std::vector<Vec3>& a,
+                         const std::vector<Vec3>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a[i].x - b[i].x));
+    worst = std::max(worst, std::fabs(a[i].y - b[i].y));
+    worst = std::max(worst, std::fabs(a[i].z - b[i].z));
+  }
+  return worst;
+}
+
+KernelSample run_kernel(ForceKernel kind, std::span<const Vec3> pos,
+                        std::span<const double> mass, double softening2,
+                        long reps, const std::vector<Vec3>& oracle) {
+  KernelSample sample;
+  sample.best_seconds = 1e300;
+  std::vector<Vec3> acc(pos.size());
+  for (long r = 0; r < reps; ++r) {
+    acc.assign(pos.size(), Vec3{});
+    const auto start = std::chrono::steady_clock::now();
+    nbody::kernels::accumulate(kind, pos, pos, mass, softening2, 0, acc);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    sample.best_seconds = std::min(sample.best_seconds, seconds);
+  }
+  if (!oracle.empty()) sample.max_abs_dev = max_abs_deviation(acc, oracle);
+  return sample;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Cli cli(argc, argv);
+  obs::ArtifactWriter artifacts("bench_kernel", cli);
+  const long reps = cli.get_int("reps", 5);
+  const double softening2 = cli.get_double("softening2", 1e-3);
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+
+  const std::size_t sizes[] = {256, 1000, 4000};
+  const ForceKernel kernels[] = {ForceKernel::Scalar, ForceKernel::Tiled,
+                                 ForceKernel::TiledMT};
+
+  support::Table table({"kernel", "n", "best_ms", "mpairs_per_s", "speedup",
+                        "max_abs_dev"});
+  bool deviation_ok = true;
+
+  std::printf("force-kernel throughput (reps=%ld, pool workers=%u)\n", reps,
+              support::ThreadPool::shared().worker_count());
+  for (const std::size_t n : sizes) {
+    const auto particles = nbody::init_plummer(n, 1);
+    std::vector<Vec3> pos(n);
+    std::vector<double> mass(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pos[i] = particles[i].pos;
+      mass[i] = particles[i].mass;
+    }
+
+    // Scalar first: its output is the oracle for this input.
+    std::vector<Vec3> oracle(n);
+    nbody::kernels::accumulate(ForceKernel::Scalar, pos, pos, mass, softening2,
+                               0, oracle);
+
+    double scalar_seconds = 0.0;
+    const double pairs = static_cast<double>(n) * static_cast<double>(n - 1);
+    for (const ForceKernel kind : kernels) {
+      const KernelSample sample =
+          run_kernel(kind, pos, mass, softening2, reps, oracle);
+      if (kind == ForceKernel::Scalar) scalar_seconds = sample.best_seconds;
+      const double speedup = scalar_seconds / sample.best_seconds;
+      const double mpairs = pairs / sample.best_seconds / 1e6;
+      const std::string name(nbody::kernels::force_kernel_name(kind));
+      table.row()
+          .add(name)
+          .add(n)
+          .add(sample.best_seconds * 1e3)
+          .add(mpairs, 1)
+          .add(speedup, 2)
+          .add(sample.max_abs_dev, 12);
+      std::printf("  %-9s n=%-5zu %9.3f ms  %9.1f Mpairs/s  %5.2fx  dev %.2e\n",
+                  name.c_str(), n, sample.best_seconds * 1e3, mpairs, speedup,
+                  sample.max_abs_dev);
+      artifacts.add_entry("speedup_" + name + "_n" + std::to_string(n),
+                          obs::Json(speedup));
+      artifacts.add_entry("max_abs_dev_" + name + "_n" + std::to_string(n),
+                          obs::Json(sample.max_abs_dev));
+      if (sample.max_abs_dev > 1e-10) {
+        deviation_ok = false;
+        std::fprintf(stderr,
+                     "error: %s kernel deviates %.3e from scalar at n=%zu "
+                     "(budget 1e-10)\n",
+                     name.c_str(), sample.max_abs_dev, n);
+      }
+    }
+  }
+
+  artifacts.add_table("kernel_throughput", table);
+  artifacts.add_entry("reps", obs::Json(static_cast<std::size_t>(reps)));
+  artifacts.add_entry("pool_workers",
+                      obs::Json(static_cast<std::size_t>(
+                          support::ThreadPool::shared().worker_count())));
+  if (!artifacts.flush()) return 1;
+  return deviation_ok ? 0 : 1;
+}

@@ -15,6 +15,7 @@
 #include "nbody/app.hpp"
 #include "nbody/forces.hpp"
 #include "nbody/init.hpp"
+#include "nbody/kernels/dispatch.hpp"
 #include "obs/artifacts.hpp"
 #include "spec/speculator.hpp"
 #include "support/cli.hpp"
@@ -43,6 +44,35 @@ void BM_PairForceKernel(benchmark::State& state) {
                           static_cast<std::int64_t>(n - 1));
 }
 BENCHMARK(BM_PairForceKernel)->Arg(64)->Arg(256)->Arg(1000);
+
+// Same workload pinned to each kernel variant, bypassing the auto heuristic,
+// so regressions in any one implementation are visible in isolation.
+void BM_ForceKernel(benchmark::State& state, nbody::kernels::ForceKernel kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto particles = nbody::init_plummer(n, 1);
+  std::vector<nbody::Vec3> pos(n);
+  std::vector<double> mass(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] = particles[i].pos;
+    mass[i] = particles[i].mass;
+  }
+  std::vector<nbody::Vec3> acc(n);
+  for (auto _ : state) {
+    acc.assign(n, {});
+    nbody::kernels::accumulate(kind, pos, pos, mass, 1e-3, 0, acc);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK_CAPTURE(BM_ForceKernel, scalar, nbody::kernels::ForceKernel::Scalar)
+    ->Arg(256)->Arg(1000)->Arg(4000);
+BENCHMARK_CAPTURE(BM_ForceKernel, tiled, nbody::kernels::ForceKernel::Tiled)
+    ->Arg(256)->Arg(1000)->Arg(4000);
+BENCHMARK_CAPTURE(BM_ForceKernel, tiled_mt,
+                  nbody::kernels::ForceKernel::TiledMT)
+    ->Arg(256)->Arg(1000)->Arg(4000);
 
 template <typename SpeculatorT>
 void BM_Speculator(benchmark::State& state) {

@@ -11,6 +11,7 @@
 
 #include "nbody/energy.hpp"
 #include "nbody/init.hpp"
+#include "nbody/kernels/dispatch.hpp"
 #include "nbody/scenario.hpp"
 #include "obs/artifacts.hpp"
 #include "support/cli.hpp"
@@ -35,6 +36,14 @@ int main(int argc, char** argv) {
                 : init == "disk" ? InitKind::RotatingDisk
                                  : InitKind::Plummer;
   s.sim.record_trace = artifacts.wants_trace();
+  const std::string kernel_arg = cli.get("kernel", "auto");
+  if (const auto kernel = kernels::parse_force_kernel(kernel_arg))
+    kernels::set_default_force_kernel(*kernel);
+  else
+    std::fprintf(stderr,
+                 "warning: unknown --kernel '%s' (want auto|scalar|tiled|"
+                 "tiled-mt); keeping auto\n",
+                 kernel_arg.c_str());
   for (const auto& unknown : cli.unused())
     std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
 
@@ -103,6 +112,9 @@ int main(int argc, char** argv) {
   report.fill_spec(run.spec);
   report.fill_channel(run.sim.channel_stats);
   report.extra.set("bodies", obs::Json(s.body.n));
+  report.extra.set("force_kernel",
+                   obs::Json(std::string(kernels::force_kernel_name(
+                       kernels::default_force_kernel()))));
   report.extra.set("speedup_vs_single", obs::Json(t1 / run.sim.makespan_seconds));
   report.extra.set("energy_drift_fraction",
                    obs::Json(std::fabs(after.total_energy() - before.total_energy()) /

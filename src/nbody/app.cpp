@@ -150,21 +150,20 @@ double NBodyApp::speculation_error(int peer, std::span<const double> speculated,
     unpack_into(speculated, spec_p, spec_v);
     unpack_into(actual, act_p, spec_v);
     const std::span<const double> m(mass_.data() + peer_lo(peer), n_k);
+    constexpr std::size_t kDisjoint = std::numeric_limits<std::size_t>::max();
+    std::vector<Vec3> f_spec(count_);
+    std::vector<Vec3> f_act(count_);
+    accumulate_accelerations(prev_pos_, spec_p, m, config_.softening2,
+                             kDisjoint, f_spec);
+    accumulate_accelerations(prev_pos_, act_p, m, config_.softening2,
+                             kDisjoint, f_act);
     for (std::size_t i = 0; i < count_; ++i) {
-      Vec3 f_spec;
-      Vec3 f_act;
-      for (std::size_t a = 0; a < n_k; ++a) {
-        f_spec += pair_acceleration(prev_pos_[i], spec_p[a], m[a],
-                                    config_.softening2);
-        f_act += pair_acceleration(prev_pos_[i], act_p[a], m[a],
-                                   config_.softening2);
-      }
       // Relative to the particle's total resultant force (acc_ holds the
       // last step's accumulation), matching the paper's "error in force":
       // a block whose *net* pull is near zero would otherwise blow up a
       // per-block relative measure.
       const double denom = std::max(acc_[i].norm(), 1e-300);
-      force_error_.add((f_spec - f_act).norm() / denom);
+      force_error_.add((f_spec[i] - f_act[i]).norm() / denom);
     }
   }
   return worst;
@@ -186,14 +185,14 @@ bool NBodyApp::correct_last_step(int peer, std::span<const double> actual) {
   const std::span<const Vec3> spec_p = peer_positions(peer);
   const std::span<const double> m(mass_.data() + peer_lo(peer), n_k);
 
-  for (std::size_t i = 0; i < count_; ++i) {
-    Vec3 delta;
-    for (std::size_t a = 0; a < n_k; ++a) {
-      delta += pair_acceleration(prev_pos_[i], act_p[a], m[a], config_.softening2);
-      delta -= pair_acceleration(prev_pos_[i], spec_p[a], m[a], config_.softening2);
-    }
-    acc_[i] += delta;
-  }
+  constexpr std::size_t kDisjoint = std::numeric_limits<std::size_t>::max();
+  std::vector<Vec3> f_act(count_);
+  std::vector<Vec3> f_spec(count_);
+  accumulate_accelerations(prev_pos_, act_p, m, config_.softening2, kDisjoint,
+                           f_act);
+  accumulate_accelerations(prev_pos_, spec_p, m, config_.softening2, kDisjoint,
+                           f_spec);
+  for (std::size_t i = 0; i < count_; ++i) acc_[i] += f_act[i] - f_spec[i];
   // Redo the cheap integration from the pre-update state with the corrected
   // accelerations (kick then drift, matching euler_step).
   for (std::size_t i = 0; i < count_; ++i) {

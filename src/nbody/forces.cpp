@@ -1,7 +1,6 @@
 #include "nbody/forces.hpp"
 
-#include <limits>
-
+#include "nbody/kernels/dispatch.hpp"
 #include "support/contracts.hpp"
 
 namespace specomp::nbody {
@@ -11,19 +10,8 @@ void accumulate_accelerations(std::span<const Vec3> target_pos,
                               std::span<const double> src_mass,
                               double softening2, std::size_t skip_offset,
                               std::span<Vec3> acc) {
-  SPEC_EXPECTS(src_pos.size() == src_mass.size());
-  SPEC_EXPECTS(acc.size() == target_pos.size());
-  for (std::size_t i = 0; i < target_pos.size(); ++i) {
-    Vec3 sum = acc[i];
-    const std::size_t self = skip_offset == std::numeric_limits<std::size_t>::max()
-                                 ? std::numeric_limits<std::size_t>::max()
-                                 : skip_offset + i;
-    for (std::size_t j = 0; j < src_pos.size(); ++j) {
-      if (j == self) continue;
-      sum += pair_acceleration(target_pos[i], src_pos[j], src_mass[j], softening2);
-    }
-    acc[i] = sum;
-  }
+  kernels::accumulate(kernels::ForceKernel::Auto, target_pos, src_pos,
+                      src_mass, softening2, skip_offset, acc);
 }
 
 std::vector<Vec3> all_accelerations(std::span<const Particle> particles,

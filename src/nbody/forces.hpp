@@ -1,6 +1,14 @@
 // O(N^2) gravitational force kernel (G = 1 units, Plummer softening).
+//
+// accumulate_accelerations (and everything built on it) executes on the
+// force-kernel subsystem under nbody/kernels/: a KernelDispatch layer picks
+// between the scalar reference kernel, a cache-blocked SoA tiled kernel and
+// a thread-pooled variant (see kernels/dispatch.hpp; drivers expose it as
+// --kernel=scalar|tiled|tiled-mt).  The pair_acceleration helper below stays
+// the single source of truth for the pair force law.
 #pragma once
 
+#include <cmath>  // std::sqrt — do not rely on transitive includes
 #include <span>
 #include <vector>
 

@@ -1,0 +1,180 @@
+#include "nbody/kernels/dispatch.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "nbody/kernels/kernel.hpp"
+#include "obs/metrics.hpp"
+#include "support/contracts.hpp"
+#include "support/thread_pool.hpp"
+
+namespace specomp::nbody::kernels {
+
+namespace {
+
+/// Below this many pair interactions the AoS->SoA staging is not worth it.
+constexpr std::size_t kScalarPairCutoff = 4096;
+/// tiled-mt needs enough target chunks to shard meaningfully.
+constexpr std::size_t kMinTargetsForMT = 4 * kTargetChunk;
+
+std::atomic<ForceKernel> g_default{ForceKernel::Auto};
+
+/// Thread-local SoA staging buffers, reused across calls (each
+/// ThreadCommunicator rank gets its own set).
+struct SoaScratch {
+  std::vector<double> tx, ty, tz;
+  std::vector<double> sx, sy, sz, sm;
+  std::vector<double> ax, ay, az;
+};
+
+SoaScratch& scratch() {
+  thread_local SoaScratch s;
+  return s;
+}
+
+/// Metric refs are captured at first kernel use; as with the PR-1
+/// instrumentation, enable collection (--metrics-out does) before the first
+/// force computation or the refs stay null and updates cost one branch.
+struct KernelMetrics {
+  obs::CounterRef calls_scalar;
+  obs::CounterRef calls_tiled;
+  obs::CounterRef calls_tiled_mt;
+  obs::CounterRef pairs;
+  obs::HistogramRef tile_seconds;
+};
+
+KernelMetrics& kernel_metrics() {
+  static KernelMetrics m{
+      obs::metrics().counter("nbody.kernel.calls.scalar"),
+      obs::metrics().counter("nbody.kernel.calls.tiled"),
+      obs::metrics().counter("nbody.kernel.calls.tiled_mt"),
+      obs::metrics().counter("nbody.kernel.pairs"),
+      obs::metrics().histogram("nbody.kernel.tile_seconds", 0.0, 1e-3, 50),
+  };
+  return m;
+}
+
+}  // namespace
+
+const obs::HistogramRef& tile_timer() noexcept {
+  return kernel_metrics().tile_seconds;
+}
+
+support::ThreadPool& kernel_pool() {
+  static support::ThreadPool& pool = []() -> support::ThreadPool& {
+    support::ThreadPool& p = support::ThreadPool::shared();
+    support::ThreadPool::Observer observer;
+    observer.queue_depth = [gauge = obs::metrics().gauge("pool.queue_depth")](
+                               double depth) { gauge.set(depth); };
+    observer.chunks_executed =
+        [counter = obs::metrics().counter("pool.chunks_executed")](
+            std::uint64_t n) { counter.inc(n); };
+    observer.jobs_submitted =
+        [counter = obs::metrics().counter("pool.jobs_submitted")](
+            std::uint64_t n) { counter.inc(n); };
+    p.set_observer(std::move(observer));
+    return p;
+  }();
+  return pool;
+}
+
+std::optional<ForceKernel> parse_force_kernel(std::string_view name) noexcept {
+  if (name == "auto") return ForceKernel::Auto;
+  if (name == "scalar") return ForceKernel::Scalar;
+  if (name == "tiled") return ForceKernel::Tiled;
+  if (name == "tiled-mt") return ForceKernel::TiledMT;
+  return std::nullopt;
+}
+
+std::string_view force_kernel_name(ForceKernel kind) noexcept {
+  switch (kind) {
+    case ForceKernel::Auto: return "auto";
+    case ForceKernel::Scalar: return "scalar";
+    case ForceKernel::Tiled: return "tiled";
+    case ForceKernel::TiledMT: return "tiled-mt";
+  }
+  return "auto";
+}
+
+void set_default_force_kernel(ForceKernel kind) noexcept {
+  g_default.store(kind, std::memory_order_relaxed);
+}
+
+ForceKernel default_force_kernel() noexcept {
+  return g_default.load(std::memory_order_relaxed);
+}
+
+ForceKernel resolve_force_kernel(ForceKernel kind, std::size_t targets,
+                                 std::size_t sources) {
+  if (kind == ForceKernel::Auto) kind = default_force_kernel();
+  if (kind != ForceKernel::Auto) return kind;
+  if (targets * sources < kScalarPairCutoff) return ForceKernel::Scalar;
+  if (targets >= kMinTargetsForMT && kernel_pool().worker_count() > 0)
+    return ForceKernel::TiledMT;
+  return ForceKernel::Tiled;
+}
+
+void accumulate(ForceKernel kind, std::span<const Vec3> target_pos,
+                std::span<const Vec3> src_pos, std::span<const double> src_mass,
+                double softening2, std::size_t skip_offset,
+                std::span<Vec3> acc) {
+  SPEC_EXPECTS(src_pos.size() == src_mass.size());
+  SPEC_EXPECTS(acc.size() == target_pos.size());
+  kind = resolve_force_kernel(kind, target_pos.size(), src_pos.size());
+
+  KernelMetrics& metrics = kernel_metrics();
+  metrics.pairs.inc(
+      static_cast<std::uint64_t>(target_pos.size() * src_pos.size()));
+
+  if (kind == ForceKernel::Scalar) {
+    metrics.calls_scalar.inc();
+    scalar_accumulate(target_pos, src_pos, src_mass, softening2, skip_offset,
+                      acc);
+    return;
+  }
+
+  const std::size_t nt = target_pos.size();
+  const std::size_t ns = src_pos.size();
+  SoaScratch& s = scratch();
+  s.tx.resize(nt);
+  s.ty.resize(nt);
+  s.tz.resize(nt);
+  for (std::size_t i = 0; i < nt; ++i) {
+    s.tx[i] = target_pos[i].x;
+    s.ty[i] = target_pos[i].y;
+    s.tz[i] = target_pos[i].z;
+  }
+  s.sx.resize(ns);
+  s.sy.resize(ns);
+  s.sz.resize(ns);
+  s.sm.resize(ns);
+  for (std::size_t j = 0; j < ns; ++j) {
+    s.sx[j] = src_pos[j].x;
+    s.sy[j] = src_pos[j].y;
+    s.sz[j] = src_pos[j].z;
+    s.sm[j] = src_mass[j];
+  }
+  s.ax.assign(nt, 0.0);
+  s.ay.assign(nt, 0.0);
+  s.az.assign(nt, 0.0);
+
+  const SoaView targets{s.tx.data(), s.ty.data(), s.tz.data(), nullptr, nt};
+  const SoaView sources{s.sx.data(), s.sy.data(), s.sz.data(), s.sm.data(), ns};
+  if (kind == ForceKernel::TiledMT) {
+    metrics.calls_tiled_mt.inc();
+    tiled_mt_accumulate(targets, sources, softening2, skip_offset, s.ax.data(),
+                        s.ay.data(), s.az.data(), &kernel_pool());
+  } else {
+    metrics.calls_tiled.inc();
+    tiled_accumulate(targets, sources, softening2, skip_offset, s.ax.data(),
+                     s.ay.data(), s.az.data());
+  }
+
+  for (std::size_t i = 0; i < nt; ++i) {
+    acc[i].x += s.ax[i];
+    acc[i].y += s.ay[i];
+    acc[i].z += s.az[i];
+  }
+}
+
+}  // namespace specomp::nbody::kernels

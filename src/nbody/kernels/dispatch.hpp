@@ -1,0 +1,54 @@
+// KernelDispatch: routes every force accumulation to a kernel variant.
+//
+// Call sites (forces.cpp, NBodyApp, the Fig. 7 baseline) pass Auto and get
+// the process default, settable from the command line via --kernel=
+// scalar|tiled|tiled-mt (drivers call set_default_force_kernel).  When the
+// default itself is Auto, a per-call heuristic picks:
+//   * scalar for tiny blocks (SoA conversion would dominate),
+//   * tiled-mt for large target counts when the shared pool has workers,
+//   * tiled otherwise.
+// The heuristic depends only on block sizes and pool configuration — never
+// on data or timing — so kernel selection is deterministic for a given
+// process configuration.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "nbody/types.hpp"
+
+namespace specomp::support {
+class ThreadPool;
+}
+
+namespace specomp::nbody::kernels {
+
+enum class ForceKernel { Auto, Scalar, Tiled, TiledMT };
+
+/// "auto" | "scalar" | "tiled" | "tiled-mt" (nullopt otherwise).
+std::optional<ForceKernel> parse_force_kernel(std::string_view name) noexcept;
+std::string_view force_kernel_name(ForceKernel kind) noexcept;
+
+/// Process-wide default applied when call sites pass Auto (CLI --kernel).
+void set_default_force_kernel(ForceKernel kind) noexcept;
+ForceKernel default_force_kernel() noexcept;
+
+/// Resolves Auto (via the default, then the size heuristic) to a concrete
+/// kernel for a (targets x sources) problem.
+ForceKernel resolve_force_kernel(ForceKernel kind, std::size_t targets,
+                                 std::size_t sources);
+
+/// Same contract as nbody::accumulate_accelerations, executed by the
+/// resolved kernel.  AoS<->SoA staging uses thread-local scratch, so
+/// concurrent calls from ThreadCommunicator ranks are safe.
+void accumulate(ForceKernel kind, std::span<const Vec3> target_pos,
+                std::span<const Vec3> src_pos, std::span<const double> src_mass,
+                double softening2, std::size_t skip_offset,
+                std::span<Vec3> acc);
+
+/// The shared pool with its metrics observer installed (queue depth gauge,
+/// chunk/job counters).  tiled-mt dispatches run on this pool.
+support::ThreadPool& kernel_pool();
+
+}  // namespace specomp::nbody::kernels

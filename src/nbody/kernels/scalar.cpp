@@ -1,0 +1,32 @@
+// Scalar reference kernel: the pre-dispatch AoS loop, kept bit-for-bit as
+// the oracle the tiled kernels are validated against.
+#include <limits>
+
+#include "nbody/forces.hpp"
+#include "nbody/kernels/kernel.hpp"
+#include "support/contracts.hpp"
+
+namespace specomp::nbody::kernels {
+
+void scalar_accumulate(std::span<const Vec3> target_pos,
+                       std::span<const Vec3> src_pos,
+                       std::span<const double> src_mass, double softening2,
+                       std::size_t skip_offset, std::span<Vec3> acc) {
+  SPEC_EXPECTS(src_pos.size() == src_mass.size());
+  SPEC_EXPECTS(acc.size() == target_pos.size());
+  for (std::size_t i = 0; i < target_pos.size(); ++i) {
+    Vec3 sum = acc[i];
+    const std::size_t self =
+        skip_offset == std::numeric_limits<std::size_t>::max()
+            ? std::numeric_limits<std::size_t>::max()
+            : skip_offset + i;
+    for (std::size_t j = 0; j < src_pos.size(); ++j) {
+      if (j == self) continue;
+      sum += pair_acceleration(target_pos[i], src_pos[j], src_mass[j],
+                               softening2);
+    }
+    acc[i] = sum;
+  }
+}
+
+}  // namespace specomp::nbody::kernels

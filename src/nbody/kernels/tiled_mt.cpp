@@ -1,0 +1,28 @@
+// Multi-threaded tiled kernel: target chunks sharded over the thread pool.
+//
+// Shard boundaries are aligned to kTargetChunk, and every target's source
+// sweep happens inside exactly one task with rows visited in ascending
+// order, so the output is bit-identical to single-threaded tiled_accumulate
+// for any pool size and any scheduling.
+#include "nbody/kernels/kernel.hpp"
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace specomp::nbody::kernels {
+
+void tiled_mt_accumulate(const SoaView& t, const SoaView& s, double soft2,
+                         std::size_t skip_offset, double* ax, double* ay,
+                         double* az, support::ThreadPool* pool) {
+  support::ThreadPool& p = pool != nullptr ? *pool : support::ThreadPool::shared();
+  const std::size_t chunks = (t.n + kTargetChunk - 1) / kTargetChunk;
+  // ~4 tasks per lane amortises queue traffic while still load-balancing.
+  const std::size_t lanes = p.worker_count() + 1;
+  const std::size_t grain = std::max<std::size_t>(1, chunks / (4 * lanes));
+  p.parallel_for(chunks, grain, [&](std::size_t begin, std::size_t end) {
+    tiled_accumulate_range(t, s, soft2, skip_offset, begin * kTargetChunk,
+                           std::min(t.n, end * kTargetChunk), ax, ay, az);
+  });
+}
+
+}  // namespace specomp::nbody::kernels
