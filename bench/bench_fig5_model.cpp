@@ -7,9 +7,11 @@
 // and speculation is ~25% ahead at p = 16.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "model/perf_model.hpp"
 #include "obs/artifacts.hpp"
+#include "runtime/sweep.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -18,6 +20,7 @@ int main(int argc, char** argv) {
   const support::Cli cli(argc, argv);
   obs::ArtifactWriter artifacts("bench_fig5_model", cli);
   const double k = cli.get_double("k", 0.02);
+  const int jobs = runtime::jobs_from_cli(cli);
 
   const model::PerfModel perf(model::paper_figure5_params(k));
 
@@ -25,13 +28,21 @@ int main(int argc, char** argv) {
               k * 100.0);
   support::Table table(
       {"p", "speedup (no spec)", "speedup (spec)", "max speedup", "gain %"});
+  // Model evaluations are microseconds each; the sweep runner is used for
+  // interface uniformity (--jobs behaves identically across all benches).
+  struct Row {
+    double no_spec, spec, max, gain;
+  };
+  const std::vector<Row> rows =
+      runtime::sweep_indexed(16, jobs, [&](std::size_t i) {
+        const std::size_t p = i + 1;
+        return Row{perf.speedup_no_spec(p), perf.speedup_spec(p),
+                   perf.max_speedup(p), perf.improvement(p) * 100.0};
+      });
   for (std::size_t p = 1; p <= 16; ++p) {
-    table.row()
-        .add(p)
-        .add(perf.speedup_no_spec(p), 2)
-        .add(perf.speedup_spec(p), 2)
-        .add(perf.max_speedup(p), 2)
-        .add(perf.improvement(p) * 100.0, 1);
+    const Row& r = rows[p - 1];
+    table.row().add(p).add(r.no_spec, 2).add(r.spec, 2).add(r.max, 2).add(
+        r.gain, 1);
   }
   std::cout << table;
 

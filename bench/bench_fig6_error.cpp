@@ -6,9 +6,11 @@
 // calibration the crossover sits near 30% — see EXPERIMENTS.md).
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "model/perf_model.hpp"
 #include "obs/artifacts.hpp"
+#include "runtime/sweep.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -17,6 +19,7 @@ int main(int argc, char** argv) {
   const support::Cli cli(argc, argv);
   obs::ArtifactWriter artifacts("bench_fig6_error", cli);
   const auto p = static_cast<std::size_t>(cli.get_int("p", 8));
+  const int jobs = runtime::jobs_from_cli(cli);
 
   const model::PerfModel baseline(model::paper_figure5_params(0.0));
   const double no_spec = baseline.speedup_no_spec(p);
@@ -24,16 +27,23 @@ int main(int argc, char** argv) {
   std::printf("Figure 6 — model speedup on %zu processors vs recomputation %%\n\n",
               p);
   support::Table table({"k %", "speedup (spec)", "speedup (no spec)", "spec wins"});
+  std::vector<double> ks;
+  for (double k = 0.0; k <= 0.50001; k += 0.025) ks.push_back(k);
+  // Model evaluations are microseconds each; the sweep runner is used for
+  // interface uniformity (--jobs behaves identically across all benches).
+  const std::vector<double> specs =
+      runtime::sweep_map(ks, jobs, [&](const double k) {
+        return model::PerfModel(model::paper_figure5_params(k)).speedup_spec(p);
+      });
   double crossover = -1.0;
-  for (double k = 0.0; k <= 0.50001; k += 0.025) {
-    const model::PerfModel perf(model::paper_figure5_params(k));
-    const double spec = perf.speedup_spec(p);
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const double spec = specs[i];
     table.row()
-        .add(k * 100.0, 1)
+        .add(ks[i] * 100.0, 1)
         .add(spec, 2)
         .add(no_spec, 2)
         .add(spec > no_spec ? "yes" : "no");
-    if (crossover < 0.0 && spec < no_spec) crossover = k;
+    if (crossover < 0.0 && spec < no_spec) crossover = ks[i];
   }
   std::cout << table;
   std::printf(

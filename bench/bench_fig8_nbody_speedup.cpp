@@ -5,12 +5,19 @@
 // speedup within 20% of the maximum attainable.
 //
 // FW = 0 is the paper's own baseline (its Figure 7 algorithm).
+//
+// The 28 simulations (serial reference + 9 p-values × 3 forward windows)
+// are independent, so they run through runtime::sweep_map with up to
+// --jobs=N in flight; results are collected in index order and the output
+// is byte-identical at any job count.
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <vector>
 
 #include "nbody/scenario.hpp"
 #include "obs/artifacts.hpp"
+#include "runtime/sweep.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -20,13 +27,32 @@ int main(int argc, char** argv) {
   const support::Cli cli(argc, argv);
   obs::ArtifactWriter artifacts("bench_fig8_nbody_speedup", cli);
   const long iterations = cli.get_int("iterations", 10);
+  const int jobs = runtime::jobs_from_cli(cli);
 
   const std::size_t p_values[] = {1, 2, 4, 6, 8, 10, 12, 14, 16};
 
-  // Serial reference on P1 (the fastest machine), as the paper defines
-  // speedup.
-  NBodyScenario serial = paper_testbed_scenario(1, iterations);
-  const double t_serial = run_scenario(serial).sim.makespan_seconds;
+  // Sweep grid: the serial reference on P1 (the fastest machine, as the
+  // paper defines speedup) followed by every (p, FW) cell.
+  struct Cell {
+    std::size_t p;
+    int fw;  // -1 = serial reference
+  };
+  std::vector<Cell> cells;
+  cells.push_back({1, -1});
+  for (const std::size_t p : p_values)
+    for (const int fw : {0, 1, 2}) cells.push_back({p, fw});
+
+  const std::vector<NBodyRunResult> runs =
+      runtime::sweep_map(cells, jobs, [&](const Cell& cell) {
+        NBodyScenario s = paper_testbed_scenario(cell.p, iterations);
+        if (cell.fw >= 0) {
+          s.algorithm =
+              cell.fw == 0 ? Algorithm::Fig7Baseline : Algorithm::Speculative;
+          s.forward_window = cell.fw;
+        }
+        return run_scenario(s);
+      });
+  const double t_serial = runs[0].sim.makespan_seconds;
 
   std::printf(
       "Figure 8 — measured N-body speedup vs processors (N = 1000, "
@@ -34,14 +60,12 @@ int main(int argc, char** argv) {
   support::Table table({"p", "FW=0 (no spec)", "FW=1", "FW=2", "max speedup",
                         "k% (FW=1)"});
   std::map<std::size_t, std::map<int, double>> speedups;
+  std::size_t next_run = 1;
   for (const std::size_t p : p_values) {
     table.row().add(p);
     double k_fw1 = 0.0;
     for (const int fw : {0, 1, 2}) {
-      NBodyScenario s = paper_testbed_scenario(p, iterations);
-      s.algorithm = fw == 0 ? Algorithm::Fig7Baseline : Algorithm::Speculative;
-      s.forward_window = fw;
-      const NBodyRunResult run = run_scenario(s);
+      const NBodyRunResult& run = runs[next_run++];
       const double speedup = t_serial / run.sim.makespan_seconds;
       speedups[p][fw] = speedup;
       table.add(speedup, 2);

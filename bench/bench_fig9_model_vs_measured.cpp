@@ -14,6 +14,7 @@
 #include "model/calibrate.hpp"
 #include "nbody/scenario.hpp"
 #include "obs/artifacts.hpp"
+#include "runtime/sweep.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -23,12 +24,34 @@ int main(int argc, char** argv) {
   const support::Cli cli(argc, argv);
   obs::ArtifactWriter artifacts("bench_fig9_model_vs_measured", cli);
   const long iterations = cli.get_int("iterations", 10);
+  const int jobs = runtime::jobs_from_cli(cli);
 
   const std::size_t p_values[] = {2, 4, 6, 8, 10, 12, 14, 16};
 
   // ---- Measure ----
-  const double t_serial =
-      run_scenario(paper_testbed_scenario(1, iterations)).sim.makespan_seconds;
+  // Sweep grid: serial reference, then a speculative and a Fig. 7 baseline
+  // run per p — all independent, run with up to --jobs in flight.
+  struct Cell {
+    std::size_t p;
+    bool baseline;
+  };
+  std::vector<Cell> cells;
+  cells.push_back({1, false});
+  for (const std::size_t p : p_values) {
+    cells.push_back({p, false});
+    cells.push_back({p, true});
+  }
+  const std::vector<NBodyRunResult> runs =
+      runtime::sweep_map(cells, jobs, [&](const Cell& cell) {
+        NBodyScenario s = paper_testbed_scenario(cell.p, iterations);
+        if (cell.baseline) {
+          s.algorithm = Algorithm::Fig7Baseline;
+          s.forward_window = 0;
+        }
+        return run_scenario(s);
+      });
+
+  const double t_serial = runs[0].sim.makespan_seconds;
   struct Measured {
     std::size_t p;
     double speedup_spec;
@@ -37,13 +60,10 @@ int main(int argc, char** argv) {
     double k;
   };
   std::vector<Measured> measured;
+  std::size_t next_run = 1;
   for (const std::size_t p : p_values) {
-    NBodyScenario spec = paper_testbed_scenario(p, iterations);
-    const NBodyRunResult spec_run = run_scenario(spec);
-    NBodyScenario base = paper_testbed_scenario(p, iterations);
-    base.algorithm = Algorithm::Fig7Baseline;
-    base.forward_window = 0;
-    const NBodyRunResult base_run = run_scenario(base);
+    const NBodyRunResult& spec_run = runs[next_run++];
+    const NBodyRunResult& base_run = runs[next_run++];
     measured.push_back({p, t_serial / spec_run.sim.makespan_seconds,
                         t_serial / base_run.sim.makespan_seconds,
                         base_run.mean_comm_per_iteration,

@@ -4,6 +4,7 @@
 // throughput, and the shared-medium channel.
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "nbody/init.hpp"
 #include "nbody/kernels/dispatch.hpp"
 #include "obs/artifacts.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/sim_comm.hpp"
 #include "spec/speculator.hpp"
 #include "support/cli.hpp"
 
@@ -139,6 +142,62 @@ void BM_DesEventThroughput(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_DesEventThroughput)->Arg(10000);
+
+// Steady-state event churn: each event schedules its successor, so the
+// arena never grows past one slot and every iteration exercises the
+// recycle path (the pattern message delivery produces).
+void BM_KernelEvents(benchmark::State& state) {
+  const auto chain = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    des::Kernel kernel;
+    std::int64_t remaining = chain;
+    std::function<void()> step;
+    step = [&kernel, &remaining, &step] {
+      if (--remaining > 0)
+        kernel.schedule_at(kernel.now() + des::SimTime::micros(1), [&] { step(); });
+    };
+    kernel.schedule_at(des::SimTime::micros(1), [&] { step(); });
+    const auto stats = kernel.run();
+    benchmark::DoNotOptimize(stats.events_executed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * chain);
+}
+BENCHMARK(BM_KernelEvents)->Arg(100000);
+
+// End-to-end simulated message rate: two ranks ping-pong `round` messages
+// through the full stack (serialise → channel → DES delivery → mailbox →
+// deserialise).  This is the hot loop of every figure bench, so its
+// items/sec is the headline "events per second" number for the PR.
+void BM_SimSendRecv(benchmark::State& state) {
+  const long rounds = state.range(0);
+  runtime::SimConfig config;
+  config.cluster = runtime::Cluster::homogeneous(2, 1e9);
+  config.channel.bandwidth_bytes_per_sec = 1.25e9;
+  config.channel.per_message_overhead_bytes = 0;
+  config.channel.propagation = des::SimTime::zero();
+  config.send_sw_time = des::SimTime::zero();
+  const std::vector<double> block(64, 1.0);
+  for (auto _ : state) {
+    const auto result =
+        runtime::run_simulated(config, [&](runtime::Communicator& comm) {
+          if (comm.rank() == 0) {
+            for (long i = 0; i < rounds; ++i) {
+              comm.send_doubles(1, 1, block);
+              benchmark::DoNotOptimize(comm.recv_doubles(1, 2).data());
+            }
+          } else {
+            for (long i = 0; i < rounds; ++i) {
+              benchmark::DoNotOptimize(comm.recv_doubles(0, 1).data());
+              comm.send_doubles(0, 2, block);
+            }
+          }
+        });
+    benchmark::DoNotOptimize(result.kernel_stats.events_executed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rounds * 2);
+}
+BENCHMARK(BM_SimSendRecv)->Arg(2000);
 
 void BM_ProcessContextSwitch(benchmark::State& state) {
   for (auto _ : state) {

@@ -9,9 +9,11 @@
 // the observed speculation-error distribution.
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "nbody/scenario.hpp"
 #include "obs/artifacts.hpp"
+#include "runtime/sweep.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -22,22 +24,29 @@ int main(int argc, char** argv) {
   obs::ArtifactWriter artifacts("bench_table3_threshold", cli);
   const long iterations = cli.get_int("iterations", 10);
   const auto p = static_cast<std::size_t>(cli.get_int("p", 16));
+  const int jobs = runtime::jobs_from_cli(cli);
 
   std::printf(
       "Table 3 — effect of error bound theta on recomputations and force "
       "error (%zu procs, FW = 2)\n\n", p);
   support::Table table({"theta", "incorrect spec %", "mean force err %",
                         "max force err %", "mean spec error", "max spec error"});
-  for (const double theta : {1e-1, 5e-2, 1e-2, 5e-3, 1e-3, 5e-4, 1e-4}) {
-    NBodyScenario s = paper_testbed_scenario(p, iterations);
-    s.theta = theta;
-    s.measure_force_error = true;
-    // FW = 2 mixes one- and two-step speculation depths, spreading the
-    // error distribution the way the paper's loaded testbed did.
-    s.forward_window = 2;
-    const NBodyRunResult run = run_scenario(s);
+  const std::vector<double> thetas = {1e-1, 5e-2, 1e-2, 5e-3,
+                                      1e-3, 5e-4, 1e-4};
+  const std::vector<NBodyRunResult> runs =
+      runtime::sweep_map(thetas, jobs, [&](const double theta) {
+        NBodyScenario s = paper_testbed_scenario(p, iterations);
+        s.theta = theta;
+        s.measure_force_error = true;
+        // FW = 2 mixes one- and two-step speculation depths, spreading the
+        // error distribution the way the paper's loaded testbed did.
+        s.forward_window = 2;
+        return run_scenario(s);
+      });
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    const NBodyRunResult& run = runs[i];
     table.row()
-        .add(theta, 4)
+        .add(thetas[i], 4)
         .add(run.spec.failure_fraction() * 100.0, 2)
         .add(run.force_error.mean() * 100.0, 3)
         .add(run.force_error.max() * 100.0, 3)

@@ -12,14 +12,79 @@ namespace specomp::des {
 Kernel::Kernel() = default;
 Kernel::~Kernel() = default;
 
-void Kernel::schedule_at(SimTime at, std::function<void()> fn) {
-  SPEC_EXPECTS(at >= now_);
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+std::uint32_t Kernel::acquire_slot(EventFn&& fn) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    arena_[slot] = std::move(fn);
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(arena_.size());
+  arena_.push_back(std::move(fn));
+  return slot;
 }
 
-void Kernel::schedule_in(SimTime delay, std::function<void()> fn) {
+void Kernel::release_slot(std::uint32_t slot) noexcept {
+  arena_[slot].reset();
+  free_slots_.push_back(slot);
+}
+
+void Kernel::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);
+  std::size_t hole = heap_.size() - 1;
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / 2;
+    if (!earlier(heap_[hole], heap_[parent])) break;
+    std::swap(heap_[hole], heap_[parent]);
+    hole = parent;
+  }
+  if (heap_.size() > queue_peak_) queue_peak_ = heap_.size();
+}
+
+void Kernel::sift_down(std::size_t hole) noexcept {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * hole + 1;
+    if (left >= n) break;
+    const std::size_t right = left + 1;
+    std::size_t best = left;
+    if (right < n && earlier(heap_[right], heap_[left])) best = right;
+    if (!earlier(heap_[best], heap_[hole])) break;
+    std::swap(heap_[hole], heap_[best]);
+    hole = best;
+  }
+}
+
+Kernel::HeapEntry Kernel::heap_pop() noexcept {
+  const HeapEntry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return top;
+}
+
+void Kernel::schedule_at(SimTime at, EventFn fn) {
+  SPEC_EXPECTS(at >= now_);
+  const std::uint32_t slot = acquire_slot(std::move(fn));
+  heap_push(HeapEntry{at, next_seq_++, slot});
+}
+
+void Kernel::schedule_in(SimTime delay, EventFn fn) {
   SPEC_EXPECTS(delay >= SimTime::zero());
   schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Kernel::try_fast_forward(SimTime at) noexcept {
+  if (at < now_) return false;
+  if (!heap_.empty() && !(at < heap_.front().at)) return false;
+  if (bounded_run_ && run_limit_ < at) return false;
+  // Equivalent to scheduling the resume event and immediately popping it:
+  // the sequence number is consumed and the event counted so replay totals
+  // and later same-time tie-breaks are identical to the queued path.
+  ++next_seq_;
+  ++events_executed_;
+  now_ = at;
+  return true;
 }
 
 Process* Kernel::spawn(std::string name, std::function<void(Process&)> fn,
@@ -39,22 +104,26 @@ KernelStats Kernel::run_until(SimTime limit) {
 }
 
 KernelStats Kernel::run_impl(bool bounded, SimTime limit) {
-  while (!queue_.empty()) {
-    if (bounded && queue_.top().at > limit) {
+  bounded_run_ = bounded;
+  run_limit_ = limit;
+  while (!heap_.empty()) {
+    if (bounded && limit < heap_.front().at) {
       now_ = limit;
       break;
     }
-    // priority_queue::top() is const; the event is moved out via a copy of
-    // the function object after recording its metadata.
-    Event ev = queue_.top();
-    queue_.pop();
-    SPEC_ASSERT(ev.at >= now_);
-    now_ = ev.at;
+    const HeapEntry top = heap_pop();
+    SPEC_ASSERT(top.at >= now_);
+    now_ = top.at;
     ++events_executed_;
-    ev.fn();
+    // Lift the callable out of its slot and retire the slot *before*
+    // invoking: the event body may schedule new events that reuse it.
+    EventFn fn = std::move(arena_[top.slot]);
+    release_slot(top.slot);
+    fn();
   }
-  if (queue_.empty()) check_deadlock();
-  return KernelStats{events_executed_, now_};
+  bounded_run_ = false;
+  if (heap_.empty()) check_deadlock();
+  return KernelStats{events_executed_, now_, queue_peak_};
 }
 
 void Kernel::check_deadlock() const {

@@ -6,15 +6,23 @@
 // body — so a simulation run is a pure function of its inputs: identical
 // configuration and seeds replay to identical traces.  Ties in event time are
 // broken by insertion sequence, giving a total order.
+//
+// Storage layout (hot path).  Callables live in a recycled arena of EventFn
+// slots (48-byte small-buffer storage, see event.hpp); the priority queue is
+// an indexed binary heap whose entries carry the (time, seq) key inline, so
+// heap sifts never touch the arena and comparisons stay two integer
+// compares.  schedule_at / run steady state performs zero heap allocations
+// and zero callable copies: slots are reused through a free list and events
+// are *moved* out of their slot before execution.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "des/event.hpp"
 #include "des/time.hpp"
 
 namespace specomp::des {
@@ -25,6 +33,8 @@ class Process;
 struct KernelStats {
   std::uint64_t events_executed = 0;
   SimTime end_time = SimTime::zero();
+  /// High-water mark of the pending-event queue over the kernel's lifetime.
+  std::uint64_t queue_peak = 0;
 };
 
 class Kernel {
@@ -38,10 +48,11 @@ class Kernel {
   /// executed event.
   SimTime now() const noexcept { return now_; }
 
-  /// Schedules `fn` to execute at absolute time `at` (>= now()).
-  void schedule_at(SimTime at, std::function<void()> fn);
+  /// Schedules `fn` to execute at absolute time `at` (>= now()).  Accepts any
+  /// void() callable, including move-only ones.
+  void schedule_at(SimTime at, EventFn fn);
   /// Schedules `fn` to execute `delay` after now().
-  void schedule_in(SimTime delay, std::function<void()> fn);
+  void schedule_in(SimTime delay, EventFn fn);
 
   /// Creates a process whose body runs `fn`.  The process starts at time
   /// `start` (default: immediately at the current time).  The returned
@@ -60,20 +71,37 @@ class Kernel {
     return processes_;
   }
 
+  std::uint64_t events_executed() const noexcept { return events_executed_; }
+  std::uint64_t queue_peak() const noexcept { return queue_peak_; }
+
  private:
   friend class Process;
 
-  struct Event {
+  /// Heap entry: full ordering key inline + arena slot of the callable.
+  struct HeapEntry {
     SimTime at;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;  // min-heap on time
-      return a.seq > b.seq;                  // FIFO among equal times
-    }
-  };
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;  // FIFO among equal times
+  }
+
+  /// Process::advance fast path: when no pending event precedes `at` (and a
+  /// bounded run's limit is not crossed), the would-be resume event is
+  /// executed inline — time, sequence and event count advance exactly as if
+  /// it had been queued and popped, but the two kernel/process context
+  /// switches are skipped.  Returns false when the caller must take the
+  /// queued slow path to preserve ordering.
+  bool try_fast_forward(SimTime at) noexcept;
+
+  std::uint32_t acquire_slot(EventFn&& fn);
+  void release_slot(std::uint32_t slot) noexcept;
+  void heap_push(HeapEntry entry);
+  HeapEntry heap_pop() noexcept;
+  void sift_down(std::size_t hole) noexcept;
 
   KernelStats run_impl(bool bounded, SimTime limit);
   void check_deadlock() const;
@@ -81,7 +109,12 @@ class Kernel {
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::uint64_t queue_peak_ = 0;
+  bool bounded_run_ = false;   // valid only inside run_impl
+  SimTime run_limit_ = SimTime::zero();
+  std::vector<HeapEntry> heap_;
+  std::vector<EventFn> arena_;
+  std::vector<std::uint32_t> free_slots_;
   std::vector<std::unique_ptr<Process>> processes_;
 };
 

@@ -1,5 +1,6 @@
 #include "nbody/baseline.hpp"
 
+#include "net/buffer_pool.hpp"
 #include "net/serialization.hpp"
 #include "nbody/forces.hpp"
 #include "support/contracts.hpp"
@@ -97,13 +98,16 @@ void run_fig7_rank(runtime::Communicator& comm, const NBodyConfig& config,
 
     // while num_recvd < p-1: receive a message, compute force due to X_k
     for (int received = 0; received + 1 < p; ++received) {
-      const net::Message msg = comm.recv_any(tag);
+      net::Message msg = comm.recv_any(tag);
       net::ByteReader reader(msg.payload);
-      const std::vector<double> block = reader.read_vector<double>();
+      // unpack_block consumes the doubles through a span, so read them in
+      // place instead of copying into a temporary vector.
+      const std::span<const double> block = reader.read_span<double>();
       const auto src = static_cast<std::size_t>(msg.src);
       const std::size_t src_lo = partition.begin(src);
       const std::size_t src_count = partition.counts[src];
       unpack_block(block, pos, vel, src_lo, src_count);
+      net::BufferPool::local().release(std::move(msg.payload));
       accumulate_accelerations(
           local_pos(), {pos.data() + src_lo, src_count},
           {mass.data() + src_lo, src_count}, config.softening2,

@@ -1,0 +1,10 @@
+#include "net/buffer_pool.hpp"
+
+namespace specomp::net {
+
+BufferPool& BufferPool::local() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+}  // namespace specomp::net

@@ -19,6 +19,14 @@ namespace specomp::net {
 
 class ByteWriter {
  public:
+  ByteWriter() = default;
+
+  /// Builds on top of `reuse`'s storage (cleared, capacity kept), so pooled
+  /// buffers (see buffer_pool.hpp) avoid re-allocating per message.
+  explicit ByteWriter(std::vector<std::byte> reuse) : bytes_(std::move(reuse)) {
+    bytes_.clear();
+  }
+
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void write(const T& value) {
@@ -70,6 +78,24 @@ class ByteReader {
     std::memcpy(values.data(), bytes_.data() + pos_, count * sizeof(T));
     pos_ += count * sizeof(T);
     return values;
+  }
+
+  /// Zero-copy variant of read_vector: a view into the reader's buffer,
+  /// valid only while the underlying payload is alive and unmoved.  Use when
+  /// the caller consumes the values immediately (copies into its own state);
+  /// the span must not outlive the message.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::span<const T> read_span() {
+    const auto count = read<std::uint64_t>();
+    SPEC_EXPECTS(pos_ + count * sizeof(T) <= bytes_.size());
+    const std::byte* raw = bytes_.data() + pos_;
+    // Payload vectors are allocator-aligned and every write_span is preceded
+    // by an 8-byte count, so in-place reinterpretation is safe; guard anyway
+    // against payloads built by hand with odd prefixes.
+    SPEC_EXPECTS(reinterpret_cast<std::uintptr_t>(raw) % alignof(T) == 0);
+    pos_ += count * sizeof(T);
+    return {reinterpret_cast<const T*>(raw), static_cast<std::size_t>(count)};
   }
 
   std::size_t remaining() const noexcept { return bytes_.size() - pos_; }

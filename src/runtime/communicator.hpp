@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "net/buffer_pool.hpp"
 #include "net/message.hpp"
 #include "net/serialization.hpp"
 #include "obs/metrics.hpp"
@@ -67,15 +68,21 @@ class Communicator {
   // ---- Convenience helpers ----
 
   void send_doubles(net::Rank dst, int tag, std::span<const double> values) {
-    net::ByteWriter writer;
+    // Reuse a pooled buffer for the wire image; the receive helpers retire
+    // consumed payloads back into the pool, so iterating exchanges reach a
+    // steady state with no allocations.
+    net::ByteWriter writer(net::BufferPool::local().acquire());
     writer.write_span(values);
     send(dst, tag, std::move(writer).take());
   }
 
   std::vector<double> recv_doubles(net::Rank src, int tag) {
-    const net::Message msg = recv(src, tag);
+    net::Message msg = recv(src, tag);
     net::ByteReader reader(msg.payload);
-    return reader.read_vector<double>();
+    const std::span<const double> values = reader.read_span<double>();
+    std::vector<double> out(values.begin(), values.end());
+    net::BufferPool::local().release(std::move(msg.payload));
+    return out;
   }
 
  protected:

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "support/contracts.hpp"
 
 namespace specomp::runtime {
@@ -42,6 +43,14 @@ class SimWorld {
     }
     SimResult result;
     result.kernel_stats = kernel_.run();
+    // Surfaced once per run, after the event loop — the kernel hot path
+    // never touches the registry, so telemetry stays zero-cost when off.
+    obs::metrics()
+        .counter("des.events_executed")
+        .inc(result.kernel_stats.events_executed);
+    obs::metrics()
+        .gauge("des.queue_peak")
+        .set(static_cast<double>(result.kernel_stats.queue_peak));
     for (const auto t : finish_times_)
       result.makespan_seconds =
           std::max(result.makespan_seconds, t.to_seconds());
@@ -60,6 +69,31 @@ class SimWorld {
   SimCommunicator& comm(net::Rank rank) {
     SPEC_EXPECTS(rank >= 0 && rank < num_ranks_);
     return *comms_[static_cast<std::size_t>(rank)];
+  }
+
+  // ---- In-flight message pool ----
+  //
+  // Messages between send and delivery live in recycled slots owned by the
+  // world; the delivery event then captures only {world, slot} (16 bytes),
+  // which fits the kernel's inline event storage.  Capturing the ~72-byte
+  // Message directly would push every delivery closure to the heap.
+
+  std::uint32_t inflight_acquire(net::Message&& msg) {
+    if (!inflight_free_.empty()) {
+      const std::uint32_t slot = inflight_free_.back();
+      inflight_free_.pop_back();
+      inflight_[slot] = std::move(msg);
+      return slot;
+    }
+    const auto slot = static_cast<std::uint32_t>(inflight_.size());
+    inflight_.push_back(std::move(msg));
+    return slot;
+  }
+
+  net::Message inflight_release(std::uint32_t slot) noexcept {
+    net::Message msg = std::move(inflight_[slot]);
+    inflight_free_.push_back(slot);
+    return msg;
   }
 
   // ---- Barrier (kernel-level; zero-cost synchronisation primitive) ----
@@ -83,13 +117,15 @@ class SimWorld {
   std::unique_ptr<net::Channel> channel_;
   std::vector<std::unique_ptr<SimCommunicator>> comms_;
   std::vector<des::SimTime> finish_times_;
+  std::vector<net::Message> inflight_;
+  std::vector<std::uint32_t> inflight_free_;
   des::Trace trace_;
   int barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
 };
 
 SimCommunicator::SimCommunicator(SimWorld& world, net::Rank rank)
-    : world_(world), rank_(rank) {}
+    : world_(world), rank_(rank), mailbox_(world.num_ranks()) {}
 
 int SimCommunicator::size() const { return world_.num_ranks(); }
 
@@ -141,44 +177,32 @@ void SimCommunicator::send(net::Rank dst, int tag,
   const des::SimTime delivered = world_.channel().post(msg, process_->now());
   msg.delivered_at = delivered;
 
+  // Park the message in the world's slot pool; the delivery closure carries
+  // only {world, slot} so it stays inline in the kernel's event storage.
   SimWorld* world = &world_;
-  world_.kernel().schedule_at(
-      delivered, [world, msg = std::move(msg)]() mutable {
-        SimCommunicator& receiver = world->comm(msg.dst);
-        receiver.mailbox_.push_back(std::move(msg));
-        receiver.process_->wake();
-      });
+  const std::uint32_t slot = world_.inflight_acquire(std::move(msg));
+  world_.kernel().schedule_at(delivered, [world, slot] {
+    net::Message delivered_msg = world->inflight_release(slot);
+    SimCommunicator& receiver = world->comm(delivered_msg.dst);
+    receiver.mailbox_.push(std::move(delivered_msg));
+    receiver.process_->wake();
+  });
 }
 
 bool SimCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
-  // Mailbox order is delivery order; among matches take the lowest sequence
-  // number so iteration streams are consumed in send order even if jitter
+  // The mailbox indexes per-(src, tag) streams ordered by sender sequence
+  // number, so iteration streams are consumed in send order even if jitter
   // reordered deliveries.
-  auto best = mailbox_.end();
-  for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
-    if (it->src == src && it->tag == tag &&
-        (best == mailbox_.end() || it->seq < best->seq)) {
-      best = it;
-    }
-  }
-  if (best == mailbox_.end()) return false;
-  out = std::move(*best);
-  mailbox_.erase(best);
+  if (!mailbox_.take(src, tag, out)) return false;
   record_receive(out.payload.size());
   return true;
 }
 
-template <typename Pred>
-net::Message SimCommunicator::recv_matching(Pred&& matches) {
+net::Message SimCommunicator::recv_blocking(bool any, net::Rank src, int tag) {
   const des::SimTime begin = process_->now();
+  net::Message msg;
   for (;;) {
-    auto best = mailbox_.end();
-    for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
-      if (matches(*it) && (best == mailbox_.end() || it->seq < best->seq)) best = it;
-    }
-    if (best != mailbox_.end()) {
-      net::Message msg = std::move(*best);
-      mailbox_.erase(best);
+    if (any ? mailbox_.take_any(tag, msg) : mailbox_.take(src, tag, msg)) {
       const des::SimTime waited = process_->now() - begin;
       timer_.add(Phase::Communicate, waited);
       record_receive(msg.payload.size());
@@ -195,12 +219,11 @@ net::Message SimCommunicator::recv_matching(Pred&& matches) {
 }
 
 net::Message SimCommunicator::recv(net::Rank src, int tag) {
-  return recv_matching(
-      [src, tag](const net::Message& m) { return m.src == src && m.tag == tag; });
+  return recv_blocking(/*any=*/false, src, tag);
 }
 
 net::Message SimCommunicator::recv_any(int tag) {
-  return recv_matching([tag](const net::Message& m) { return m.tag == tag; });
+  return recv_blocking(/*any=*/true, /*src=*/-1, tag);
 }
 
 void SimCommunicator::barrier() { world_.barrier_arrive(*this); }

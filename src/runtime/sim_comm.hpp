@@ -18,6 +18,7 @@
 #include "net/channel.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/communicator.hpp"
+#include "runtime/mailbox.hpp"
 
 namespace specomp::runtime {
 
@@ -74,13 +75,12 @@ class SimCommunicator final : public Communicator {
 
   void advance_traced(des::SimTime dt, Phase phase);
   des::SpanKind span_kind_for(Phase phase) const;
-  template <typename Pred>
-  net::Message recv_matching(Pred&& matches);
+  net::Message recv_blocking(bool any, net::Rank src, int tag);
 
   SimWorld& world_;
   net::Rank rank_;
   des::Process* process_ = nullptr;  // bound by the harness before start
-  std::vector<net::Message> mailbox_;
+  SimMailbox mailbox_;
   std::uint64_t next_seq_ = 0;
   bool speculative_ = false;
 };

@@ -1,0 +1,64 @@
+// Parallel deterministic sweep runner.
+//
+// Every paper figure is produced by sweeping run_simulated / run_scenario
+// over a (p, FW, θ, latency, ...) grid, and each sweep point is a *pure
+// function* of its configuration: the DES kernel gives every run its own
+// virtual clock, event queue and seeded channel, so two runs cannot observe
+// each other no matter how the host schedules them.  That makes sweep-level
+// parallelism trivially safe: run the points concurrently, write each result
+// into its own index slot, and the collected vector — and therefore every
+// table, JSON report and headline computed from it — is byte-identical to a
+// serial sweep regardless of --jobs.
+//
+// Wall-clock is the only thing that changes.  Each sweep call builds a
+// dedicated pool of (jobs - 1) workers and participates from the calling
+// thread, so --jobs=N means exactly N concurrent simulations; jobs <= 1 is
+// a plain serial loop with no pool and no synchronisation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/cli.hpp"
+
+namespace specomp::runtime {
+
+/// Reads the shared `--jobs=N` bench flag (default 1 = serial).
+int jobs_from_cli(const support::Cli& cli);
+
+namespace detail_sweep {
+
+/// Runs body(i) for every i in [0, n): inline when jobs <= 1, otherwise on
+/// a dedicated pool of min(jobs, n) lanes (including the calling thread).
+void run_indexed(std::size_t n, int jobs,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace detail_sweep
+
+/// Evaluates fn(i) for i in [0, n) with up to `jobs` simulations in flight
+/// and returns the results in index order.  fn must be safe to call from
+/// multiple threads (independent run_simulated configurations are; see the
+/// file comment) and its result type default-constructible.
+template <typename Fn>
+auto sweep_indexed(std::size_t n, int jobs, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using Result = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<Result> results(n);
+  detail_sweep::run_indexed(
+      n, jobs, [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+/// Convenience overload: maps fn over an explicit configuration list.
+template <typename Config, typename Fn>
+auto sweep_map(const std::vector<Config>& configs, int jobs, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, const Config&>> {
+  return sweep_indexed(configs.size(), jobs, [&](std::size_t i) {
+    return fn(configs[i]);
+  });
+}
+
+}  // namespace specomp::runtime

@@ -1,9 +1,10 @@
 #include "runtime/thread_comm.hpp"
 
 #include <algorithm>
-#include <optional>
+#include <memory>
 #include <thread>
 
+#include "runtime/mailbox.hpp"
 #include "support/contracts.hpp"
 #include "support/rng.hpp"
 
@@ -17,69 +18,6 @@ des::SimTime elapsed_since(Clock::time_point start) {
   return des::SimTime::seconds(
       std::chrono::duration<double>(Clock::now() - start).count());
 }
-
-struct TimedMessage {
-  net::Message msg;
-  Clock::time_point deliver_at;
-};
-
-/// Thread-safe mailbox with delayed visibility: a message becomes receivable
-/// only once its delivery time has passed.
-class Mailbox {
- public:
-  void deliver(TimedMessage msg) {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      queue_.push_back(std::move(msg));
-    }
-    cv_.notify_all();
-  }
-
-  template <typename Pred>
-  std::optional<net::Message> try_take(Pred&& matches) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    return take_locked(matches, Clock::now());
-  }
-
-  template <typename Pred>
-  net::Message take_blocking(Pred&& matches) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    for (;;) {
-      const auto now = Clock::now();
-      if (auto msg = take_locked(matches, now)) return std::move(*msg);
-      // Wake when new mail arrives or when the earliest matching-but-not-
-      // yet-deliverable message matures.
-      auto next_ready = Clock::time_point::max();
-      for (const auto& tm : queue_)
-        if (matches(tm.msg)) next_ready = std::min(next_ready, tm.deliver_at);
-      if (next_ready == Clock::time_point::max()) {
-        cv_.wait(lock);
-      } else {
-        cv_.wait_until(lock, next_ready);
-      }
-    }
-  }
-
- private:
-  template <typename Pred>
-  std::optional<net::Message> take_locked(Pred&& matches, Clock::time_point now) {
-    auto best = queue_.end();
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->deliver_at <= now && matches(it->msg) &&
-          (best == queue_.end() || it->msg.seq < best->msg.seq)) {
-        best = it;
-      }
-    }
-    if (best == queue_.end()) return std::nullopt;
-    net::Message msg = std::move(best->msg);
-    queue_.erase(best);
-    return msg;
-  }
-
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<TimedMessage> queue_;
-};
 
 class ThreadWorld;
 
@@ -111,18 +49,20 @@ class ThreadWorld {
   explicit ThreadWorld(const ThreadConfig& config)
       : config_(config),
         num_ranks_(static_cast<int>(config.cluster.size())),
-        mailboxes_(config.cluster.size()),
         rng_(config.seed),
         start_(Clock::now()) {
     SPEC_EXPECTS(num_ranks_ > 0);
+    mailboxes_.reserve(config.cluster.size());
+    for (int r = 0; r < num_ranks_; ++r)
+      mailboxes_.push_back(std::make_unique<TimedMailbox>(num_ranks_));
   }
 
   const ThreadConfig& config() const noexcept { return config_; }
   int num_ranks() const noexcept { return num_ranks_; }
   Clock::time_point start() const noexcept { return start_; }
-  Mailbox& mailbox(net::Rank rank) {
+  TimedMailbox& mailbox(net::Rank rank) {
     SPEC_EXPECTS(rank >= 0 && rank < num_ranks_);
-    return mailboxes_[static_cast<std::size_t>(rank)];
+    return *mailboxes_[static_cast<std::size_t>(rank)];
   }
 
   Clock::duration sample_latency() {
@@ -152,7 +92,7 @@ class ThreadWorld {
  private:
   ThreadConfig config_;
   int num_ranks_;
-  std::vector<Mailbox> mailboxes_;
+  std::vector<std::unique_ptr<TimedMailbox>> mailboxes_;
   std::mutex rng_mutex_;
   support::Xoshiro256 rng_;
   Clock::time_point start_;
@@ -179,13 +119,12 @@ void ThreadCommunicator::send(net::Rank dst, int tag,
   msg.seq = next_seq_++;
   msg.payload = std::move(payload);
   record_send(msg.payload.size());
-  world_.mailbox(dst).deliver(
-      TimedMessage{std::move(msg), Clock::now() + world_.sample_latency()});
+  world_.mailbox(dst).deliver(std::move(msg),
+                              Clock::now() + world_.sample_latency());
 }
 
 bool ThreadCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
-  auto msg = world_.mailbox(rank_).try_take(
-      [src, tag](const net::Message& m) { return m.src == src && m.tag == tag; });
+  auto msg = world_.mailbox(rank_).try_take(src, tag);
   if (!msg) return false;
   out = std::move(*msg);
   record_receive(out.payload.size());
@@ -194,8 +133,7 @@ bool ThreadCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
 
 net::Message ThreadCommunicator::recv(net::Rank src, int tag) {
   const auto begin = Clock::now();
-  net::Message msg = world_.mailbox(rank_).take_blocking(
-      [src, tag](const net::Message& m) { return m.src == src && m.tag == tag; });
+  net::Message msg = world_.mailbox(rank_).take_blocking(src, tag);
   const des::SimTime waited = elapsed_since(begin);
   timer_.add(Phase::Communicate, waited);
   record_receive(msg.payload.size());
@@ -205,8 +143,7 @@ net::Message ThreadCommunicator::recv(net::Rank src, int tag) {
 
 net::Message ThreadCommunicator::recv_any(int tag) {
   const auto begin = Clock::now();
-  net::Message msg = world_.mailbox(rank_).take_blocking(
-      [tag](const net::Message& m) { return m.tag == tag; });
+  net::Message msg = world_.mailbox(rank_).take_blocking_any(tag);
   const des::SimTime waited = elapsed_since(begin);
   timer_.add(Phase::Communicate, waited);
   record_receive(msg.payload.size());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "net/buffer_pool.hpp"
 #include "net/serialization.hpp"
 #include "support/contracts.hpp"
 
@@ -12,9 +13,12 @@ using runtime::Phase;
 
 namespace {
 
-std::vector<double> decode_block(const net::Message& msg) {
+std::vector<double> decode_block(net::Message msg) {
   net::ByteReader reader(msg.payload);
-  return reader.read_vector<double>();
+  const std::span<const double> values = reader.read_span<double>();
+  std::vector<double> block(values.begin(), values.end());
+  net::BufferPool::local().release(std::move(msg.payload));
+  return block;
 }
 
 }  // namespace
@@ -112,7 +116,7 @@ SpecStats SpecEngine::run(long iterations) {
       auto& slot = record.peers[static_cast<std::size_t>(k)];
       net::Message msg;
       if (comm_.try_recv(k, tag_for(t), msg)) {
-        slot.block = decode_block(msg);
+        slot.block = decode_block(std::move(msg));
         // Record history only while no older speculation for this peer is
         // outstanding: a jitter-reordered early arrival must not run the
         // history past a record that a later replay will re-speculate.
@@ -197,7 +201,11 @@ void SpecEngine::drain_pending() {
       }
     }
     if (found_k < 0) return;
-    resolve_receipt(found_k, found_s, decode_block(msg));
+    // resolve_receipt consumes the values through a span, so decode in place
+    // instead of materialising a vector.
+    net::ByteReader reader(msg.payload);
+    resolve_receipt(found_k, found_s, reader.read_span<double>());
+    net::BufferPool::local().release(std::move(msg.payload));
   }
 }
 
@@ -211,8 +219,11 @@ void SpecEngine::await_oldest(int k) {
     }
   }
   SPEC_ASSERT(s >= 0);
-  const std::vector<double> actual = comm_.recv_doubles(k, tag_for(s));
-  resolve_receipt(k, s, actual);
+  // Zero-copy: resolve_receipt reads the values straight out of the payload.
+  net::Message msg = comm_.recv(k, tag_for(s));
+  net::ByteReader reader(msg.payload);
+  resolve_receipt(k, s, reader.read_span<double>());
+  net::BufferPool::local().release(std::move(msg.payload));
 }
 
 void SpecEngine::resolve_receipt(int k, long s, std::span<const double> actual) {

@@ -1,0 +1,55 @@
+// Payload-buffer pool: recycled vectors keep their capacity, the pool is
+// bounded, and empty buffers are not worth pooling.
+#include "net/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace specomp::net {
+namespace {
+
+TEST(BufferPool, RecyclesCapacityAndClearsContent) {
+  BufferPool pool;
+  std::vector<std::byte> buffer(4096, std::byte{0xAB});
+  const std::size_t cap = buffer.capacity();
+  pool.release(std::move(buffer));
+  EXPECT_EQ(pool.pooled(), 1u);
+  const std::vector<std::byte> reused = pool.acquire();
+  EXPECT_EQ(pool.pooled(), 0u);
+  EXPECT_TRUE(reused.empty());
+  EXPECT_GE(reused.capacity(), cap);
+}
+
+TEST(BufferPool, AcquireOnEmptyPoolReturnsFreshBuffer) {
+  BufferPool pool;
+  const std::vector<std::byte> fresh = pool.acquire();
+  EXPECT_TRUE(fresh.empty());
+}
+
+TEST(BufferPool, IgnoresCapacityFreeBuffers) {
+  BufferPool pool;
+  pool.release(std::vector<std::byte>{});  // nothing to recycle
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(BufferPool, IsBounded) {
+  BufferPool pool;
+  for (std::size_t i = 0; i < 4 * BufferPool::kMaxPooled; ++i)
+    pool.release(std::vector<std::byte>(64));
+  EXPECT_EQ(pool.pooled(), BufferPool::kMaxPooled);
+}
+
+TEST(BufferPool, ThreadLocalInstanceIsStable) {
+  BufferPool& a = BufferPool::local();
+  BufferPool& b = BufferPool::local();
+  EXPECT_EQ(&a, &b);
+  a.release(std::vector<std::byte>(16));
+  EXPECT_GE(b.pooled(), 1u);
+  (void)b.acquire();  // leave the shared instance roughly as found
+}
+
+}  // namespace
+}  // namespace specomp::net

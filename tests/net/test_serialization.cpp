@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 namespace specomp::net {
@@ -26,6 +29,59 @@ TEST(Serialization, VectorRoundTrip) {
   w.write_vector(values);
   ByteReader r(w.bytes());
   EXPECT_EQ(r.read_vector<double>(), values);
+}
+
+TEST(Serialization, ReadSpanViewsPayloadWithoutCopying) {
+  ByteWriter w;
+  const std::vector<double> values{1.0, -2.5, 1e-300, 1e300};
+  w.write_vector(values);
+  const auto bytes = std::move(w).take();
+  ByteReader r(bytes);
+  const std::span<const double> view = r.read_span<double>();
+  ASSERT_EQ(view.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_EQ(view[i], values[i]);
+  // Zero-copy: the span points into the serialised buffer itself.
+  const auto* begin = reinterpret_cast<const std::byte*>(view.data());
+  EXPECT_GE(begin, bytes.data());
+  EXPECT_LE(begin + view.size_bytes(), bytes.data() + bytes.size());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialization, ReadSpanAdvancesPastVectorForMixedPayloads) {
+  ByteWriter w;
+  w.write<std::int64_t>(9);  // 8-byte prefix keeps the doubles aligned
+  w.write_vector(std::vector<double>{4.0, 5.0});
+  w.write<std::int32_t>(-9);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read<std::int64_t>(), 9);
+  EXPECT_EQ(r.read_span<double>().size(), 2u);
+  EXPECT_EQ(r.read<std::int32_t>(), -9);
+}
+
+TEST(SerializationDeath, MisalignedReadSpanAborts) {
+  // read_span reinterprets payload bytes in place, so it refuses prefixes
+  // that leave the element array unaligned (read_vector handles those).
+  ByteWriter w;
+  w.write<std::int32_t>(9);
+  w.write_vector(std::vector<double>{4.0, 5.0});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read<std::int32_t>(), 9);
+  EXPECT_DEATH((void)r.read_span<double>(), "Precondition");
+}
+
+TEST(Serialization, WriterReusesRecycledBufferCapacity) {
+  ByteWriter first;
+  first.write_vector(std::vector<double>(256, 1.0));
+  auto buffer = std::move(first).take();
+  const std::size_t cap = buffer.capacity();
+  ByteWriter second(std::move(buffer));
+  EXPECT_EQ(second.bytes().size(), 0u);  // recycled buffer starts empty
+  second.write<double>(2.0);
+  ByteReader r(second.bytes());
+  EXPECT_DOUBLE_EQ(r.read<double>(), 2.0);
+  EXPECT_GE(std::move(second).take().capacity(), sizeof(double));
+  (void)cap;
 }
 
 TEST(Serialization, EmptyVector) {

@@ -1,0 +1,120 @@
+// Sweep-runner contract: results land in input order regardless of job
+// count, and parallel execution of independent simulations cannot perturb
+// their virtual-time results — jobs=1 and jobs=8 must produce bit-identical
+// SimResults, as must repeated runs of the same configuration.
+#include "runtime/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/serialization.hpp"
+#include "runtime/sim_comm.hpp"
+#include "support/cli.hpp"
+
+namespace specomp::runtime {
+namespace {
+
+TEST(Sweep, IndexedResultsLandInInputOrder) {
+  for (const int jobs : {1, 3, 8}) {
+    const std::vector<std::size_t> out =
+        sweep_indexed(100, jobs, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_EQ(out[i], i * i) << "jobs=" << jobs;
+  }
+}
+
+TEST(Sweep, MapPreservesInputOrder) {
+  const std::vector<std::string> items = {"a", "bb", "ccc", "dddd", "eeeee"};
+  const std::vector<std::size_t> lens =
+      sweep_map(items, 4, [](const std::string& s) { return s.size(); });
+  ASSERT_EQ(lens.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    EXPECT_EQ(lens[i], items[i].size());
+}
+
+TEST(Sweep, EmptyAndSingleInputs) {
+  EXPECT_TRUE(sweep_indexed(0, 8, [](std::size_t i) { return i; }).empty());
+  const auto one = sweep_indexed(1, 8, [](std::size_t i) { return i + 41; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 41u);
+}
+
+TEST(Sweep, JobsFromCliDefaultsToOne) {
+  const char* argv1[] = {"prog"};
+  EXPECT_EQ(jobs_from_cli(support::Cli(1, argv1)), 1);
+  const char* argv2[] = {"prog", "--jobs=6"};
+  EXPECT_EQ(jobs_from_cli(support::Cli(2, argv2)), 6);
+}
+
+SimResult run_ping_ring(std::size_t ranks, long rounds) {
+  SimConfig config;
+  config.cluster = Cluster::homogeneous(static_cast<int>(ranks), 1e6);
+  config.channel.per_message_overhead_bytes = 0;
+  return run_simulated(config, [&](Communicator& comm) {
+    const net::Rank next =
+        static_cast<net::Rank>((comm.rank() + 1) % static_cast<int>(ranks));
+    const net::Rank prev = static_cast<net::Rank>(
+        (comm.rank() + static_cast<int>(ranks) - 1) % static_cast<int>(ranks));
+    for (long r = 0; r < rounds; ++r) {
+      comm.compute(1000.0 * static_cast<double>(comm.rank() + 1));
+      comm.send_doubles(
+          next, net::kTagUser,
+          std::vector<double>{static_cast<double>(comm.rank()),
+                              static_cast<double>(r)});
+      (void)comm.recv_doubles(prev, net::kTagUser);
+    }
+  });
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  // memcmp on the doubles: bit-identical, not merely approximately equal.
+  EXPECT_EQ(std::memcmp(&a.makespan_seconds, &b.makespan_seconds,
+                        sizeof(double)), 0);
+  EXPECT_EQ(a.kernel_stats.events_executed, b.kernel_stats.events_executed);
+  EXPECT_EQ(a.kernel_stats.queue_peak, b.kernel_stats.queue_peak);
+  EXPECT_EQ(a.channel_stats.messages, b.channel_stats.messages);
+  EXPECT_EQ(a.channel_stats.bytes, b.channel_stats.bytes);
+  const double mean_a = a.channel_stats.delay_seconds.mean();
+  const double mean_b = b.channel_stats.delay_seconds.mean();
+  EXPECT_EQ(std::memcmp(&mean_a, &mean_b, sizeof(double)), 0);
+  ASSERT_EQ(a.timers.size(), b.timers.size());
+  for (std::size_t rank = 0; rank < a.timers.size(); ++rank) {
+    for (std::size_t p = 0; p < static_cast<std::size_t>(Phase::kCount); ++p) {
+      const double ta = a.timers[rank].get(static_cast<Phase>(p)).to_seconds();
+      const double tb = b.timers[rank].get(static_cast<Phase>(p)).to_seconds();
+      EXPECT_EQ(std::memcmp(&ta, &tb, sizeof(double)), 0)
+          << "rank " << rank << " phase " << p;
+    }
+  }
+}
+
+TEST(Sweep, RepeatedRunsAreBitIdentical) {
+  const SimResult first = run_ping_ring(4, 20);
+  const SimResult second = run_ping_ring(4, 20);
+  expect_identical(first, second);
+}
+
+// The determinism regression the sweep runner depends on: running the same
+// grid serially and with 8 lanes in flight must give bit-identical
+// SimResults per cell — virtual time is a function of the configuration
+// only, never of the wall-clock scheduling of sibling simulations.
+TEST(Sweep, ParallelJobsCannotPerturbVirtualTime) {
+  const std::vector<std::size_t> grid = {2, 3, 4, 5, 6, 2, 3, 4};
+  const auto serial =
+      sweep_map(grid, 1, [](std::size_t p) { return run_ping_ring(p, 10); });
+  const auto parallel =
+      sweep_map(grid, 8, [](std::size_t p) { return run_ping_ring(p, 10); });
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+}  // namespace
+}  // namespace specomp::runtime
