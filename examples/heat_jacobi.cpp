@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
     s.forward_window = fw;
     s.theta = 1e-3;
     s.sim = latency_bound_network(p);
+    s.sim.hb_check = cli.get_bool("hb-check");
     const JacobiRunResult run = run_jacobi_scenario(s);
     std::printf(
         "  FW=%d: %6.2f s, residual %.2e, k = %.1f%% (%llu corrections)\n",
@@ -75,6 +76,7 @@ int main(int argc, char** argv) {
     s.theta = 1e-4;
     s.sim = latency_bound_network(p);
     s.sim.record_trace = fw == 2 && artifacts.wants_trace();
+    s.sim.hb_check = cli.get_bool("hb-check");
     const HeatRunResult run = run_heat_scenario(s);
     const auto serial = serial_heat(s.problem, s.iterations);
     double deviation = 0.0;

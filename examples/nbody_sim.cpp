@@ -36,6 +36,10 @@ int main(int argc, char** argv) {
                 : init == "disk" ? InitKind::RotatingDisk
                                  : InitKind::Plummer;
   s.sim.record_trace = artifacts.wants_trace();
+  // Happens-before detector (needs a -DSPECOMP_HB_CHECK=ON build; see
+  // runtime/hb_check.hpp).  Aborts with a causal-path diagnostic on any
+  // unsynchronized delivery instead of silently corrupting the measurement.
+  s.sim.hb_check = cli.get_bool("hb-check");
   const std::string kernel_arg = cli.get("kernel", "auto");
   if (const auto kernel = kernels::parse_force_kernel(kernel_arg))
     kernels::set_default_force_kernel(*kernel);

@@ -1,0 +1,153 @@
+#include "runtime/hb_check.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace specomp::runtime {
+
+HbChecker::HbChecker(int num_ranks) {
+  SPEC_EXPECTS(num_ranks > 0);
+  clocks_.assign(static_cast<std::size_t>(num_ranks),
+                 VectorClock(static_cast<std::size_t>(num_ranks), 0));
+}
+
+std::string HbChecker::clock_str(const VectorClock& clock) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < clock.size(); ++i) {
+    if (i != 0) out << ',';
+    out << clock[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+void HbChecker::violation_locked(const std::string& message) const {
+  throw HbViolation("happens-before violation: " + message);
+}
+
+void HbChecker::on_send(int src, int dst, int tag, std::uint64_t seq) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SPEC_EXPECTS(src >= 0 && static_cast<std::size_t>(src) < clocks_.size());
+  SPEC_EXPECTS(dst >= 0 && static_cast<std::size_t>(dst) < clocks_.size());
+  VectorClock& clock = clocks_[static_cast<std::size_t>(src)];
+  ++clock[static_cast<std::size_t>(src)];
+  Stream& stream = streams_[StreamKey{src, dst, tag}];
+  // Sender seq numbers increase monotonically, so within one (src, dst, tag)
+  // stream the outstanding deque is ordered: front = oldest send.
+  SPEC_EXPECTS(stream.outstanding.empty() ||
+               stream.outstanding.back().seq < seq);
+  stream.outstanding.push_back({seq, clock});
+  ++events_checked_;
+}
+
+void HbChecker::check_and_merge_locked(int dst, int src, int tag,
+                                       std::uint64_t seq) {
+  SPEC_EXPECTS(dst >= 0 && static_cast<std::size_t>(dst) < clocks_.size());
+  SPEC_EXPECTS(src >= 0 && static_cast<std::size_t>(src) < clocks_.size());
+  VectorClock& receiver = clocks_[static_cast<std::size_t>(dst)];
+  const auto it = streams_.find(StreamKey{src, dst, tag});
+  std::ostringstream who;
+  who << "rank " << dst << " consumed message (src=" << src << ", tag=" << tag
+      << ", seq=" << seq << ")";
+
+  if (it == streams_.end()) {
+    violation_locked(who.str() +
+                     " but no send on this stream was ever recorded — "
+                     "phantom message: this state cannot exist in any causal "
+                     "history (receiver clock " +
+                     clock_str(receiver) + ")");
+  }
+  Stream& stream = it->second;
+  if (stream.delivered.count(seq) != 0) {
+    violation_locked(who.str() + " twice — duplicate delivery (receiver clock " +
+                     clock_str(receiver) + ")");
+  }
+  const auto pos =
+      std::find_if(stream.outstanding.begin(), stream.outstanding.end(),
+                   [&](const SendRecord& r) { return r.seq == seq; });
+  if (pos == stream.outstanding.end()) {
+    violation_locked(who.str() +
+                     " but that send was never recorded — phantom message: "
+                     "this state cannot exist in any causal history "
+                     "(receiver clock " +
+                     clock_str(receiver) + ")");
+  }
+  if (pos != stream.outstanding.begin()) {
+    const SendRecord& skipped = stream.outstanding.front();
+    std::ostringstream path;
+    path << who.str() << " before the stream's oldest outstanding seq="
+         << skipped.seq << ".  Causal path: send(seq=" << skipped.seq
+         << ") by rank " << src << " at clock " << clock_str(skipped.stamp)
+         << " happens-before send(seq=" << seq << ") at clock "
+         << clock_str(pos->stamp)
+         << ", but rank " << dst << " (clock " << clock_str(receiver)
+         << ") observed them inverted — delivery out of seq/HB order";
+    violation_locked(path.str());
+  }
+  // Verified: merge the stamp, tick the receiver.
+  for (std::size_t i = 0; i < receiver.size(); ++i)
+    receiver[i] = std::max(receiver[i], pos->stamp[i]);
+  ++receiver[static_cast<std::size_t>(dst)];
+  stream.delivered.insert(seq);
+  stream.outstanding.pop_front();
+  ++events_checked_;
+}
+
+void HbChecker::on_receive(int dst, int src, int tag, std::uint64_t seq) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  check_and_merge_locked(dst, src, tag, seq);
+}
+
+void HbChecker::on_receive_sim(int dst, int src, int tag, std::uint64_t seq,
+                               double sent_at, double delivered_at,
+                               double now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream who;
+  who << "rank " << dst << " consumed message (src=" << src << ", tag=" << tag
+      << ", seq=" << seq << ")";
+  if (delivered_at < sent_at) {
+    std::ostringstream path;
+    path << who.str() << " delivered at t=" << delivered_at
+         << " before it was sent at t=" << sent_at
+         << " — the channel inverted virtual time";
+    violation_locked(path.str());
+  }
+  if (now < delivered_at) {
+    std::ostringstream path;
+    path << who.str() << " at virtual time t=" << now
+         << " before its delivery time t=" << delivered_at
+         << " — reading state the happens-before relation says cannot exist "
+            "yet";
+    violation_locked(path.str());
+  }
+  check_and_merge_locked(dst, src, tag, seq);
+}
+
+void HbChecker::on_barrier() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  VectorClock merged(clocks_.front().size(), 0);
+  for (const VectorClock& clock : clocks_)
+    for (std::size_t i = 0; i < merged.size(); ++i)
+      merged[i] = std::max(merged[i], clock[i]);
+  for (std::size_t r = 0; r < clocks_.size(); ++r) {
+    clocks_[r] = merged;
+    ++clocks_[r][r];
+  }
+  ++events_checked_;
+}
+
+VectorClock HbChecker::clock(int rank) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SPEC_EXPECTS(rank >= 0 && static_cast<std::size_t>(rank) < clocks_.size());
+  return clocks_[static_cast<std::size_t>(rank)];
+}
+
+std::uint64_t HbChecker::events_checked() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_checked_;
+}
+
+}  // namespace specomp::runtime

@@ -1,10 +1,12 @@
 #include "runtime/sim_comm.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "runtime/hb_check.hpp"
 #include "support/contracts.hpp"
 
 namespace specomp::runtime {
@@ -29,6 +31,9 @@ class SimWorld {
       comms_.push_back(std::make_unique<SimCommunicator>(*this, r));
     finish_times_.resize(static_cast<std::size_t>(num_ranks_),
                          des::SimTime::zero());
+#if SPECOMP_HB_CHECK_ENABLED
+    if (config_.hb_check) hb_ = std::make_unique<HbChecker>(num_ranks_);
+#endif
   }
 
   SimResult run(const RankBody& body) {
@@ -51,6 +56,10 @@ class SimWorld {
     obs::metrics()
         .gauge("des.queue_peak")
         .set(static_cast<double>(result.kernel_stats.queue_peak));
+#if SPECOMP_HB_CHECK_ENABLED
+    if (hb_ != nullptr)
+      obs::metrics().counter("hb.events_checked").inc(hb_->events_checked());
+#endif
     for (const auto t : finish_times_)
       result.makespan_seconds =
           std::max(result.makespan_seconds, t.to_seconds());
@@ -103,12 +112,21 @@ class SimWorld {
     if (++barrier_count_ == num_ranks_) {
       barrier_count_ = 0;
       ++barrier_generation_;
+#if SPECOMP_HB_CHECK_ENABLED
+      // The barrier synchronises every rank: join all vector clocks before
+      // anyone proceeds.
+      if (hb_ != nullptr) hb_->on_barrier();
+#endif
       for (auto& other : comms_)
         if (other.get() != &comm) other->process_->wake();
       return;
     }
     while (barrier_generation_ == my_generation) comm.process_->suspend();
   }
+
+#if SPECOMP_HB_CHECK_ENABLED
+  HbChecker* hb() noexcept { return hb_.get(); }
+#endif
 
  private:
   SimConfig config_;
@@ -122,6 +140,9 @@ class SimWorld {
   des::Trace trace_;
   int barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
+#if SPECOMP_HB_CHECK_ENABLED
+  std::unique_ptr<HbChecker> hb_;
+#endif
 };
 
 SimCommunicator::SimCommunicator(SimWorld& world, net::Rank rank)
@@ -177,6 +198,12 @@ void SimCommunicator::send(net::Rank dst, int tag,
   const des::SimTime delivered = world_.channel().post(msg, process_->now());
   msg.delivered_at = delivered;
 
+#if SPECOMP_HB_CHECK_ENABLED
+  // Recorded before the delivery event is scheduled, so the receive-side
+  // check can never observe a send that does not exist yet.
+  if (HbChecker* hb = world_.hb()) hb->on_send(rank_, dst, tag, msg.seq);
+#endif
+
   // Park the message in the world's slot pool; the delivery closure carries
   // only {world, slot} so it stays inline in the kernel's event storage.
   SimWorld* world = &world_;
@@ -194,6 +221,13 @@ bool SimCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
   // number, so iteration streams are consumed in send order even if jitter
   // reordered deliveries.
   if (!mailbox_.take(src, tag, out)) return false;
+#if SPECOMP_HB_CHECK_ENABLED
+  if (HbChecker* hb = world_.hb()) {
+    hb->on_receive_sim(rank_, out.src, out.tag, out.seq,
+                       out.sent_at.to_seconds(), out.delivered_at.to_seconds(),
+                       process_->now().to_seconds());
+  }
+#endif
   record_receive(out.payload.size());
   return true;
 }
@@ -203,6 +237,14 @@ net::Message SimCommunicator::recv_blocking(bool any, net::Rank src, int tag) {
   net::Message msg;
   for (;;) {
     if (any ? mailbox_.take_any(tag, msg) : mailbox_.take(src, tag, msg)) {
+#if SPECOMP_HB_CHECK_ENABLED
+      if (HbChecker* hb = world_.hb()) {
+        hb->on_receive_sim(rank_, msg.src, msg.tag, msg.seq,
+                           msg.sent_at.to_seconds(),
+                           msg.delivered_at.to_seconds(),
+                           process_->now().to_seconds());
+      }
+#endif
       const des::SimTime waited = process_->now() - begin;
       timer_.add(Phase::Communicate, waited);
       record_receive(msg.payload.size());
@@ -240,6 +282,13 @@ double SimCommunicator::time_seconds() const {
 }  // namespace detail
 
 SimResult run_simulated(const SimConfig& config, const RankBody& body) {
+#if !SPECOMP_HB_CHECK_ENABLED
+  if (config.hb_check) {
+    std::fprintf(stderr,
+                 "specomp: hb_check requested but this build compiled the "
+                 "detector out — reconfigure with -DSPECOMP_HB_CHECK=ON\n");
+  }
+#endif
   detail::SimWorld world(config);
   return world.run(body);
 }

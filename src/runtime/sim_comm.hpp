@@ -34,6 +34,11 @@ struct SimConfig {
   /// Record a Gantt trace of all rank activity (costs memory; used by the
   /// timeline example).
   bool record_trace = false;
+  /// Run the vector-clock happens-before detector on every send/recv/barrier
+  /// (see runtime/hb_check.hpp).  Only honoured when the build enables
+  /// -DSPECOMP_HB_CHECK=ON; otherwise the hooks are compiled out and this
+  /// flag warns and is ignored.
+  bool hb_check = false;
 };
 
 struct SimResult {

@@ -1,9 +1,11 @@
 #include "runtime/thread_comm.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <thread>
 
+#include "runtime/hb_check.hpp"
 #include "runtime/mailbox.hpp"
 #include "support/contracts.hpp"
 #include "support/rng.hpp"
@@ -12,6 +14,7 @@ namespace specomp::runtime {
 
 namespace {
 
+// specomp-lint: allow(wall-clock): the thread backend measures genuine wall time by design; SimCommunicator is the deterministic instrument
 using Clock = std::chrono::steady_clock;
 
 des::SimTime elapsed_since(Clock::time_point start) {
@@ -55,7 +58,14 @@ class ThreadWorld {
     mailboxes_.reserve(config.cluster.size());
     for (int r = 0; r < num_ranks_; ++r)
       mailboxes_.push_back(std::make_unique<TimedMailbox>(num_ranks_));
+#if SPECOMP_HB_CHECK_ENABLED
+    if (config_.hb_check) hb_ = std::make_unique<HbChecker>(num_ranks_);
+#endif
   }
+
+#if SPECOMP_HB_CHECK_ENABLED
+  HbChecker* hb() noexcept { return hb_.get(); }
+#endif
 
   const ThreadConfig& config() const noexcept { return config_; }
   int num_ranks() const noexcept { return num_ranks_; }
@@ -82,6 +92,11 @@ class ThreadWorld {
     if (++barrier_count_ == num_ranks_) {
       barrier_count_ = 0;
       ++barrier_generation_;
+#if SPECOMP_HB_CHECK_ENABLED
+      // Join all clocks while still holding the barrier mutex: no waiter can
+      // resume (and issue new sends) before the merge completes.
+      if (hb_ != nullptr) hb_->on_barrier();
+#endif
       barrier_cv_.notify_all();
       return;
     }
@@ -100,6 +115,9 @@ class ThreadWorld {
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
+#if SPECOMP_HB_CHECK_ENABLED
+  std::unique_ptr<HbChecker> hb_;
+#endif
 };
 
 int ThreadCommunicator::size() const { return world_.num_ranks(); }
@@ -119,6 +137,11 @@ void ThreadCommunicator::send(net::Rank dst, int tag,
   msg.seq = next_seq_++;
   msg.payload = std::move(payload);
   record_send(msg.payload.size());
+#if SPECOMP_HB_CHECK_ENABLED
+  // Recorded before the message becomes receivable: once deliver() runs the
+  // receiver may consume it concurrently, and its check must find the send.
+  if (HbChecker* hb = world_.hb()) hb->on_send(rank_, dst, tag, msg.seq);
+#endif
   world_.mailbox(dst).deliver(std::move(msg),
                               Clock::now() + world_.sample_latency());
 }
@@ -127,6 +150,10 @@ bool ThreadCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
   auto msg = world_.mailbox(rank_).try_take(src, tag);
   if (!msg) return false;
   out = std::move(*msg);
+#if SPECOMP_HB_CHECK_ENABLED
+  if (HbChecker* hb = world_.hb())
+    hb->on_receive(rank_, out.src, out.tag, out.seq);
+#endif
   record_receive(out.payload.size());
   return true;
 }
@@ -134,6 +161,10 @@ bool ThreadCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
 net::Message ThreadCommunicator::recv(net::Rank src, int tag) {
   const auto begin = Clock::now();
   net::Message msg = world_.mailbox(rank_).take_blocking(src, tag);
+#if SPECOMP_HB_CHECK_ENABLED
+  if (HbChecker* hb = world_.hb())
+    hb->on_receive(rank_, msg.src, msg.tag, msg.seq);
+#endif
   const des::SimTime waited = elapsed_since(begin);
   timer_.add(Phase::Communicate, waited);
   record_receive(msg.payload.size());
@@ -144,6 +175,10 @@ net::Message ThreadCommunicator::recv(net::Rank src, int tag) {
 net::Message ThreadCommunicator::recv_any(int tag) {
   const auto begin = Clock::now();
   net::Message msg = world_.mailbox(rank_).take_blocking_any(tag);
+#if SPECOMP_HB_CHECK_ENABLED
+  if (HbChecker* hb = world_.hb())
+    hb->on_receive(rank_, msg.src, msg.tag, msg.seq);
+#endif
   const des::SimTime waited = elapsed_since(begin);
   timer_.add(Phase::Communicate, waited);
   record_receive(msg.payload.size());
@@ -170,6 +205,13 @@ double ThreadCommunicator::time_seconds() const {
 }  // namespace
 
 ThreadResult run_threaded(const ThreadConfig& config, const RankBody& body) {
+#if !SPECOMP_HB_CHECK_ENABLED
+  if (config.hb_check) {
+    std::fprintf(stderr,
+                 "specomp: hb_check requested but this build compiled the "
+                 "detector out — reconfigure with -DSPECOMP_HB_CHECK=ON\n");
+  }
+#endif
   ThreadWorld world(config);
   const int p = world.num_ranks();
 

@@ -33,6 +33,11 @@ struct ThreadConfig {
   /// Extra uniform jitter in [0, latency_jitter_seconds).
   double latency_jitter_seconds = 0.0;
   std::uint64_t seed = 0x7ead5;
+  /// Run the vector-clock happens-before detector on every send/recv/barrier
+  /// (see runtime/hb_check.hpp).  Only honoured when the build enables
+  /// -DSPECOMP_HB_CHECK=ON; otherwise the hooks are compiled out and this
+  /// flag warns and is ignored.
+  bool hb_check = false;
 };
 
 struct ThreadResult {

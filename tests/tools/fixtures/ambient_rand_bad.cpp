@@ -1,0 +1,11 @@
+// Fixture: ambient randomness inside deterministic simulation code.
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  std::random_device rd;  // line 6: random_device
+  std::mt19937 gen;       // line 7: default-seeded engine
+  (void)rd;
+  (void)gen;
+  return rand() % 6;  // line 10: rand()
+}

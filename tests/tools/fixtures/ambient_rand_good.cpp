@@ -1,0 +1,9 @@
+// Fixture: explicitly seeded randomness is the sanctioned pattern.
+#include <cstdint>
+#include <random>
+
+double jitter(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);  // seeded engine: fine
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(gen);
+}

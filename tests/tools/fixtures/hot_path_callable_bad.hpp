@@ -1,0 +1,8 @@
+// Fixture: std::function in a DES hot-path header.  Linted under the
+// synthetic path src/des/fixture.hpp.
+#pragma once
+#include <functional>
+
+struct Event {
+  std::function<void()> callback;  // line 7: heap-allocating callable
+};

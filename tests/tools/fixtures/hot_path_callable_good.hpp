@@ -1,0 +1,8 @@
+// Fixture: the sanctioned pattern — a small-buffer-optimised callable or a
+// template parameter.  Mentioning std::function in comments must stay quiet.
+#pragma once
+
+template <typename Fn>
+void schedule(Fn&& fn) {
+  fn();
+}

@@ -1,0 +1,20 @@
+// Fixture: owned allocations and the constructs the rule must not confuse
+// with naked new/delete: placement new, deleted functions, #include <new>.
+#include <memory>
+#include <new>
+
+struct Node {
+  int value = 0;
+  Node() = default;
+  Node(const Node&) = delete;             // deleted function, not a delete
+  Node& operator=(const Node&) = delete;  // deleted function, not a delete
+};
+
+int owned() {
+  auto n = std::make_unique<Node>();
+  alignas(Node) unsigned char buffer[sizeof(Node)];
+  Node* p = ::new (static_cast<void*>(buffer)) Node();  // placement new
+  const int v = n->value + p->value;
+  p->~Node();
+  return v;
+}

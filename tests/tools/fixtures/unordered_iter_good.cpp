@@ -1,0 +1,14 @@
+// Fixture: keyed lookups into unordered containers are fine (no iteration),
+// and iterating an ordered std::map is fine too.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+std::string serialize(const std::unordered_map<int, double>& by_tag,
+                      const std::map<int, double>& ordered) {
+  std::string out;
+  if (auto it = by_tag.find(7); it != by_tag.end())
+    out += std::to_string(it->second);
+  for (const auto& [tag, value] : ordered) out += std::to_string(value);
+  return out;
+}

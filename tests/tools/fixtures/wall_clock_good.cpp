@@ -1,0 +1,14 @@
+// Fixture: virtual time only — no wall-clock sources.  The string literal,
+// the comment mention of steady_clock, and the member call obj.time() must
+// all stay quiet.
+struct Sim {
+  double now = 0.0;
+  double time() const { return now; }  // member named time(): not ::time()
+};
+
+double virtual_elapsed(const Sim& sim) {
+  const char* label = "steady_clock in a string literal";
+  (void)label;
+  // steady_clock in a comment is fine too.
+  return sim.time();
+}

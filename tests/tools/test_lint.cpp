@@ -1,0 +1,183 @@
+// specomp-lint fixture corpus: every rule must both fire on its positive
+// fixture (exact rule id, expected lines) and stay quiet on its negative
+// fixture.  A final test locks the real tree clean, so a new violation
+// anywhere in src/ bench/ tests/ fails the suite even before CI's lint job
+// sees it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace {
+
+using speclint::Finding;
+using speclint::lint_content;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(SPECOMP_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> rule_ids(const std::vector<Finding>& findings) {
+  std::vector<std::string> ids;
+  ids.reserve(findings.size());
+  for (const auto& f : findings) ids.push_back(f.rule);
+  return ids;
+}
+
+std::vector<int> lines_of(const std::vector<Finding>& findings,
+                          const std::string& rule) {
+  std::vector<int> lines;
+  for (const auto& f : findings)
+    if (f.rule == rule) lines.push_back(f.line);
+  return lines;
+}
+
+TEST(LintRules, RuleTableIsStable) {
+  std::set<std::string> ids;
+  for (const auto& r : speclint::rules()) ids.insert(std::string(r.id));
+  EXPECT_EQ(ids, (std::set<std::string>{"wall-clock", "ambient-rand",
+                                        "hot-path-callable", "unordered-iter",
+                                        "naked-new", "bad-allow"}));
+}
+
+TEST(LintRules, WallClockFires) {
+  const auto findings =
+      lint_content("src/des/fixture.cpp", read_fixture("wall_clock_bad.cpp"));
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"wall-clock", "wall-clock"}));
+  EXPECT_EQ(lines_of(findings, "wall-clock"), (std::vector<int>{7, 9}));
+}
+
+TEST(LintRules, WallClockQuietOnVirtualTime) {
+  EXPECT_TRUE(lint_content("src/des/fixture.cpp",
+                           read_fixture("wall_clock_good.cpp"))
+                  .empty());
+}
+
+TEST(LintRules, WallClockScopedToDeterministicDirs) {
+  // The same violating content is fine in bench/ (measurement harness code).
+  EXPECT_TRUE(lint_content("bench/fixture.cpp",
+                           read_fixture("wall_clock_bad.cpp"))
+                  .empty());
+}
+
+TEST(LintRules, AmbientRandFires) {
+  const auto findings = lint_content("src/spec/fixture.cpp",
+                                     read_fixture("ambient_rand_bad.cpp"));
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"ambient-rand", "ambient-rand",
+                                      "ambient-rand"}));
+  EXPECT_EQ(lines_of(findings, "ambient-rand"), (std::vector<int>{6, 7, 10}));
+}
+
+TEST(LintRules, AmbientRandQuietOnSeededEngine) {
+  EXPECT_TRUE(lint_content("src/spec/fixture.cpp",
+                           read_fixture("ambient_rand_good.cpp"))
+                  .empty());
+}
+
+TEST(LintRules, HotPathCallableFires) {
+  const auto findings = lint_content(
+      "src/des/fixture.hpp", read_fixture("hot_path_callable_bad.hpp"));
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"hot-path-callable"}));
+  EXPECT_EQ(lines_of(findings, "hot-path-callable"), (std::vector<int>{7}));
+}
+
+TEST(LintRules, HotPathCallableQuietOnTemplates) {
+  EXPECT_TRUE(lint_content("src/des/fixture.hpp",
+                           read_fixture("hot_path_callable_good.hpp"))
+                  .empty());
+}
+
+TEST(LintRules, HotPathCallableHeadersOnly) {
+  // The rule guards headers (inline hot-path code); spawn-time .cpp use of
+  // std::function is outside its scope.
+  EXPECT_TRUE(lint_content("src/des/fixture.cpp",
+                           read_fixture("hot_path_callable_bad.hpp"))
+                  .empty());
+}
+
+TEST(LintRules, UnorderedIterFires) {
+  const auto findings = lint_content("src/runtime/fixture.cpp",
+                                     read_fixture("unordered_iter_bad.cpp"));
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"unordered-iter", "unordered-iter"}));
+  EXPECT_EQ(lines_of(findings, "unordered-iter"), (std::vector<int>{8, 12}));
+}
+
+TEST(LintRules, UnorderedIterQuietOnLookupsAndOrderedMaps) {
+  EXPECT_TRUE(lint_content("src/runtime/fixture.cpp",
+                           read_fixture("unordered_iter_good.cpp"))
+                  .empty());
+}
+
+TEST(LintRules, NakedNewFires) {
+  const auto findings =
+      lint_content("src/spec/fixture.cpp", read_fixture("naked_new_bad.cpp"));
+  EXPECT_EQ(rule_ids(findings),
+            (std::vector<std::string>{"naked-new", "naked-new"}));
+  EXPECT_EQ(lines_of(findings, "naked-new"), (std::vector<int>{8, 10}));
+}
+
+TEST(LintRules, NakedNewQuietOnOwnedAndPlacement) {
+  EXPECT_TRUE(lint_content("src/spec/fixture.cpp",
+                           read_fixture("naked_new_good.cpp"))
+                  .empty());
+}
+
+TEST(LintRules, NakedNewAllowedInSupport) {
+  EXPECT_TRUE(lint_content("src/support/fixture.cpp",
+                           read_fixture("naked_new_bad.cpp"))
+                  .empty());
+}
+
+TEST(LintDirectives, JustifiedAllowSilences) {
+  EXPECT_TRUE(lint_content("src/runtime/fixture.cpp",
+                           read_fixture("allow_good.cpp"))
+                  .empty());
+}
+
+TEST(LintDirectives, BareOrUnknownAllowIsReportedAndDoesNotSilence) {
+  const auto findings =
+      lint_content("src/runtime/fixture.cpp", read_fixture("allow_bad.cpp"));
+  // Line 6: bare allow -> bad-allow + the original wall-clock finding.
+  // Line 7: unknown rule id -> bad-allow + the original wall-clock finding.
+  EXPECT_EQ(lines_of(findings, "bad-allow"), (std::vector<int>{6, 7}));
+  EXPECT_EQ(lines_of(findings, "wall-clock"), (std::vector<int>{6, 7}));
+}
+
+TEST(LintScanner, CommentsStringsAndPreprocessorAreInert) {
+  const std::string content =
+      "#include <new>\n"
+      "/* steady_clock in a block comment\n"
+      "   spanning lines: rand() */\n"
+      "const char* s = \"delete everything at time(0)\";\n"
+      "const char* r = R\"(new delete rand() steady_clock)\";\n";
+  EXPECT_TRUE(lint_content("src/des/fixture.cpp", content).empty());
+}
+
+// The enforcement half of the tentpole: the real tree must be clean.  Runs
+// the same walk CI's lint job runs, so a violation fails locally first.
+TEST(LintTree, RepositoryIsClean) {
+  std::vector<Finding> findings;
+  const std::size_t files = speclint::lint_tree(
+      SPECOMP_LINT_SOURCE_ROOT, {"src", "bench", "tests"}, findings);
+  EXPECT_GT(files, 100u);  // sanity: the walk saw the real tree
+  std::string all;
+  for (const auto& f : findings) all += speclint::format_finding(f) + "\n";
+  EXPECT_TRUE(findings.empty()) << all;
+}
+
+}  // namespace

@@ -1,0 +1,703 @@
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace speclint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+// Directories whose code decides virtual time or executes inside the
+// deterministic simulation world.  Wall-clock and ambient randomness there
+// destroy run-to-run bit identity.
+const std::vector<std::string_view> kDeterministicDirs = {
+    "src/des/", "src/runtime/", "src/spec/", "src/nbody/"};
+
+// Directories whose iteration order reaches serialized output or
+// virtual-time decisions (the simulation world plus the telemetry
+// serializers).  std::map is fine; unordered containers are not.
+const std::vector<std::string_view> kOrderSensitiveDirs = {
+    "src/des/", "src/runtime/", "src/spec/", "src/nbody/", "src/obs/"};
+
+const std::vector<RuleSpec> kRules = {
+    {"wall-clock",
+     "wall-clock read (system_clock/steady_clock/time()/clock()/...) in "
+     "deterministic simulation code",
+     kDeterministicDirs,
+     {},
+     false},
+    {"ambient-rand",
+     "ambient randomness (rand()/random_device/default-seeded engine) in "
+     "deterministic simulation code",
+     kDeterministicDirs,
+     {},
+     false},
+    {"hot-path-callable",
+     "std::function/std::bind in a DES hot-path header (regresses the "
+     "allocation-free event arena; use des::EventFn or a template parameter)",
+     {"src/des/"},
+     {},
+     true},
+    {"unordered-iter",
+     "iteration over an unordered container in order-sensitive code "
+     "(iteration order feeds serialized output or virtual-time decisions)",
+     kOrderSensitiveDirs,
+     {},
+     false},
+    {"naked-new",
+     "naked new/delete outside src/support (own it with a container, "
+     "unique_ptr, or an arena)",
+     {"src/", "bench/", "tests/"},
+     {"src/support/"},
+     false},
+    {"bad-allow",
+     "malformed specomp-lint directive (unknown rule id or missing "
+     "justification)",
+     {},
+     {},
+     false},
+};
+
+bool is_header(std::string_view path) {
+  return path.ends_with(".hpp") || path.ends_with(".h") ||
+         path.ends_with(".hh");
+}
+
+bool has_prefix(std::string_view path,
+                const std::vector<std::string_view>& prefixes) {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&](std::string_view p) { return path.starts_with(p); });
+}
+
+bool rule_applies(const RuleSpec& rule, std::string_view path) {
+  if (rule.headers_only && !is_header(path)) return false;
+  if (!rule.include_prefixes.empty() && !has_prefix(path, rule.include_prefixes))
+    return false;
+  return !has_prefix(path, rule.exclude_prefixes);
+}
+
+const RuleSpec* find_rule(std::string_view id) {
+  for (const auto& r : kRules)
+    if (r.id == id) return &r;
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Scanner: strips comments / string literals / preprocessor lines, keeping
+// the comment text separately so suppression directives stay parseable.
+// ---------------------------------------------------------------------------
+
+struct ScannedLine {
+  std::string code;     // literals and comments blanked to spaces
+  std::string comment;  // concatenated comment text of this line
+};
+
+std::vector<ScannedLine> scan(std::string_view content) {
+  std::vector<ScannedLine> lines;
+  ScannedLine cur;
+  enum class State { Code, BlockComment, String, Char, RawString };
+  State state = State::Code;
+  std::string raw_delim;   // for raw strings: the ")delim" terminator
+  bool preproc = false;    // current logical line is a preprocessor directive
+  bool line_has_code = false;
+
+  auto flush_line = [&] {
+    // Preprocessor text must not feed the token rules (e.g. `#include <new>`).
+    if (preproc) cur.code.assign(cur.code.size(), ' ');
+    lines.push_back(std::move(cur));
+    cur = ScannedLine{};
+    line_has_code = false;
+  };
+
+  std::size_t i = 0;
+  const std::size_t n = content.size();
+  bool continues_preproc = false;
+  while (i <= n) {
+    if (i == n || content[i] == '\n') {
+      // End of physical line: a preprocessor line continues with backslash.
+      bool backslash = false;
+      if (i > 0) {
+        std::size_t j = i;
+        while (j > 0 && (content[j - 1] == '\r')) --j;
+        backslash = j > 0 && content[j - 1] == '\\';
+      }
+      continues_preproc = preproc && backslash && state == State::Code;
+      flush_line();
+      preproc = continues_preproc;
+      if (i == n) break;
+      ++i;
+      continue;
+    }
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    switch (state) {
+      case State::Code: {
+        if (!line_has_code && !preproc) {
+          if (std::isspace(static_cast<unsigned char>(c))) {
+            cur.code.push_back(' ');
+            ++i;
+            continue;
+          }
+          line_has_code = true;
+          if (c == '#') preproc = true;
+        }
+        if (c == '/' && next == '/') {
+          // Line comment: capture the text, blank the code.
+          std::size_t end = content.find('\n', i);
+          if (end == std::string_view::npos) end = n;
+          cur.comment.append(content.substr(i + 2, end - i - 2));
+          cur.code.append(end - i, ' ');
+          i = end;
+          continue;
+        }
+        if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          cur.code.append(2, ' ');
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          // Raw string?  Look back over the prefix (R, uR, u8R, LR, UR).
+          std::size_t p = i;
+          bool raw = p > 0 && content[p - 1] == 'R';
+          if (raw) {
+            // The R must itself start an identifier-ish prefix, not end one
+            // (e.g. `macroR"` is not a raw string in practice — good enough).
+            std::size_t q = p - 1;
+            while (q > 0 && (std::isalnum(static_cast<unsigned char>(
+                                 content[q - 1])) ||
+                             content[q - 1] == '_'))
+              --q;
+            const std::string_view prefix = content.substr(q, p - q);
+            raw = prefix == "R" || prefix == "uR" || prefix == "u8R" ||
+                  prefix == "LR" || prefix == "UR";
+          }
+          if (raw) {
+            std::size_t delim_end = i + 1;
+            while (delim_end < n && content[delim_end] != '(') ++delim_end;
+            raw_delim = ")";
+            raw_delim.append(content.substr(i + 1, delim_end - i - 1));
+            raw_delim.push_back('"');
+            state = State::RawString;
+            cur.code.append(delim_end - i + 1 <= n ? delim_end - i + 1 : 1, ' ');
+            i = delim_end + 1;
+            continue;
+          }
+          state = State::String;
+          cur.code.push_back(' ');
+          ++i;
+          continue;
+        }
+        if (c == '\'') {
+          // Digit separator / literal suffix (1'000) — not a char literal.
+          if (i > 0 && (std::isalnum(static_cast<unsigned char>(
+                            content[i - 1])) ||
+                        content[i - 1] == '_')) {
+            cur.code.push_back(' ');
+            ++i;
+            continue;
+          }
+          state = State::Char;
+          cur.code.push_back(' ');
+          ++i;
+          continue;
+        }
+        cur.code.push_back(c);
+        ++i;
+        break;
+      }
+      case State::BlockComment: {
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          cur.code.append(2, ' ');
+          i += 2;
+        } else {
+          cur.comment.push_back(c == '\t' ? ' ' : c);
+          cur.code.push_back(' ');
+          ++i;
+        }
+        break;
+      }
+      case State::String:
+      case State::Char: {
+        const char quote = state == State::String ? '"' : '\'';
+        if (c == '\\') {
+          cur.code.append(2, ' ');
+          i += 2;
+        } else if (c == quote) {
+          state = State::Code;
+          cur.code.push_back(' ');
+          ++i;
+        } else {
+          cur.code.push_back(' ');
+          ++i;
+        }
+        break;
+      }
+      case State::RawString: {
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          cur.code.append(raw_delim.size(), ' ');
+          i += raw_delim.size();
+          state = State::Code;
+        } else {
+          cur.code.push_back(' ');
+          ++i;
+        }
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer: identifiers + punctuation (with "::", "->" as single tokens).
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string_view text;
+  int line = 0;  // 1-based
+};
+
+std::vector<Token> tokenize(const std::vector<ScannedLine>& lines) {
+  std::vector<Token> tokens;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& code = lines[li].code;
+    const int line_no = static_cast<int>(li) + 1;
+    std::size_t i = 0;
+    while (i < code.size()) {
+      const char c = code[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t j = i + 1;
+        while (j < code.size() && (std::isalnum(static_cast<unsigned char>(
+                                       code[j])) ||
+                                   code[j] == '_'))
+          ++j;
+        tokens.push_back({std::string_view(code).substr(i, j - i), line_no});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t j = i + 1;
+        while (j < code.size() && (std::isalnum(static_cast<unsigned char>(
+                                       code[j])) ||
+                                   code[j] == '.' || code[j] == '_'))
+          ++j;
+        i = j;  // numbers never matter to the rules
+        continue;
+      }
+      if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+        tokens.push_back({std::string_view(code).substr(i, 2), line_no});
+        i += 2;
+        continue;
+      }
+      if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
+        tokens.push_back({std::string_view(code).substr(i, 2), line_no});
+        i += 2;
+        continue;
+      }
+      tokens.push_back({std::string_view(code).substr(i, 1), line_no});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression directives
+// ---------------------------------------------------------------------------
+
+struct Allows {
+  // line (1-based) -> rule ids allowed on that line and the next
+  std::map<int, std::set<std::string>> by_line;
+  std::vector<Finding> errors;  // bad-allow findings
+
+  bool allowed(int line, std::string_view rule) const {
+    for (const int l : {line, line - 1}) {
+      auto it = by_line.find(l);
+      if (it != by_line.end() &&
+          it->second.count(std::string(rule)) != 0)
+        return true;
+    }
+    return false;
+  }
+};
+
+Allows parse_allows(std::string_view path,
+                    const std::vector<ScannedLine>& lines) {
+  Allows allows;
+  constexpr std::string_view kDirective = "specomp-lint:";
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& comment = lines[li].comment;
+    const int line_no = static_cast<int>(li) + 1;
+    std::size_t pos = comment.find(kDirective);
+    while (pos != std::string::npos) {
+      std::size_t i = pos + kDirective.size();
+      auto fail = [&](const std::string& why) {
+        allows.errors.push_back({std::string(path), line_no, "bad-allow", why});
+      };
+      while (i < comment.size() && comment[i] == ' ') ++i;
+      if (comment.compare(i, 6, "allow(") != 0) {
+        fail("directive must be 'specomp-lint: allow(<rule>): <justification>'");
+        break;
+      }
+      i += 6;
+      const std::size_t close = comment.find(')', i);
+      if (close == std::string::npos) {
+        fail("unterminated allow( — missing ')'");
+        break;
+      }
+      // Comma-separated rule ids.
+      std::vector<std::string> ids;
+      std::string id;
+      for (std::size_t j = i; j < close; ++j) {
+        if (comment[j] == ',') {
+          ids.push_back(id);
+          id.clear();
+        } else if (comment[j] != ' ') {
+          id.push_back(comment[j]);
+        }
+      }
+      ids.push_back(id);
+      bool ok = true;
+      for (const auto& r : ids) {
+        if (r.empty() || find_rule(r) == nullptr) {
+          fail("unknown rule id '" + r + "' in allow(...)");
+          ok = false;
+        }
+      }
+      // Mandatory justification: ": <non-empty text>" after the ')'.
+      std::size_t k = close + 1;
+      while (k < comment.size() && comment[k] == ' ') ++k;
+      bool justified = k < comment.size() && comment[k] == ':';
+      if (justified) {
+        ++k;
+        while (k < comment.size() && comment[k] == ' ') ++k;
+        justified = k < comment.size();
+      }
+      if (!justified) {
+        fail("allow(...) needs a justification: '// specomp-lint: "
+             "allow(<rule>): <why this is safe>'");
+        ok = false;
+      }
+      if (ok)
+        for (const auto& r : ids) allows.by_line[line_no].insert(r);
+      pos = comment.find(kDirective, close);
+    }
+  }
+  return allows;
+}
+
+// ---------------------------------------------------------------------------
+// Token rules
+// ---------------------------------------------------------------------------
+
+const std::set<std::string_view> kClockIdents = {
+    "system_clock",  "steady_clock", "high_resolution_clock",
+    "gettimeofday",  "clock_gettime", "localtime",
+    "gmtime",        "timespec_get",  "mktime"};
+
+const std::set<std::string_view> kRandCalls = {"rand", "srand", "drand48",
+                                               "lrand48", "mrand48"};
+
+const std::set<std::string_view> kEngines = {
+    "mt19937",  "mt19937_64", "minstd_rand",           "minstd_rand0",
+    "ranlux24", "ranlux48",   "default_random_engine", "knuth_b"};
+
+const std::set<std::string_view> kUnorderedContainers = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+struct FileScan {
+  std::string_view path;
+  std::vector<Token> tokens;
+  std::vector<Finding>* out;
+
+  std::string_view tok(std::size_t i) const {
+    return i < tokens.size() ? tokens[i].text : std::string_view{};
+  }
+  void report(std::size_t i, std::string_view rule, std::string message) const {
+    out->push_back(
+        {std::string(path), tokens[i].line, std::string(rule), std::move(message)});
+  }
+};
+
+bool is_member_access(const FileScan& f, std::size_t i) {
+  if (i == 0) return false;
+  const std::string_view prev = f.tok(i - 1);
+  return prev == "." || prev == "->";
+}
+
+bool is_identifier_token(std::string_view t) {
+  return !t.empty() &&
+         (std::isalpha(static_cast<unsigned char>(t[0])) || t[0] == '_');
+}
+
+// Keywords that can legitimately precede a function call expression; any
+// other preceding identifier means `name(` is a declaration (`VectorClock
+// clock(int)`) or a qualified member (`HbChecker::clock(r)`), not a call to
+// the libc function.
+const std::set<std::string_view> kCallPrecedingKeywords = {
+    "return", "co_return", "co_yield", "case", "throw", "else", "do"};
+
+bool is_libc_style_call(const FileScan& f, std::size_t i) {
+  if (f.tok(i + 1) != "(") return false;
+  if (i == 0) return true;
+  const std::string_view prev = f.tok(i - 1);
+  if (prev == "." || prev == "->") return false;
+  // `std::time(` is the libc call; any other qualifier (`HbChecker::clock(`)
+  // names a member.
+  if (prev == "::") return i >= 2 && f.tok(i - 2) == "std";
+  if (is_identifier_token(prev) && kCallPrecedingKeywords.count(prev) == 0)
+    return false;  // declaration: preceding identifier is the return type
+  return true;
+}
+
+void rule_wall_clock(const FileScan& f) {
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    const std::string_view t = f.tok(i);
+    if (kClockIdents.count(t) != 0) {
+      f.report(i, "wall-clock",
+               "wall-clock source '" + std::string(t) +
+                   "' in deterministic simulation code — virtual time must "
+                   "come from the DES kernel");
+      continue;
+    }
+    if ((t == "time" || t == "clock") && is_libc_style_call(f, i)) {
+      f.report(i, "wall-clock",
+               "call to '" + std::string(t) +
+                   "()' in deterministic simulation code — virtual time must "
+                   "come from the DES kernel");
+    }
+  }
+}
+
+void rule_ambient_rand(const FileScan& f) {
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    const std::string_view t = f.tok(i);
+    if (t == "random_device") {
+      f.report(i, "ambient-rand",
+               "std::random_device in deterministic simulation code — "
+               "randomness must flow from an explicit seed (support::Xoshiro256)");
+      continue;
+    }
+    if (kRandCalls.count(t) != 0 && f.tok(i + 1) == "(" &&
+        !is_member_access(f, i)) {
+      f.report(i, "ambient-rand",
+               "ambient PRNG call '" + std::string(t) +
+                   "()' — randomness must flow from an explicit seed");
+      continue;
+    }
+    if (kEngines.count(t) != 0) {
+      // `std::mt19937 gen;` / `std::mt19937 gen{};` — default seed, so every
+      // build/library combination rolls different streams.
+      const std::string_view name = f.tok(i + 1);
+      if (!name.empty() &&
+          (std::isalpha(static_cast<unsigned char>(name[0])) ||
+           name[0] == '_')) {
+        const std::string_view after = f.tok(i + 2);
+        const bool unseeded =
+            after == ";" || (after == "{" && f.tok(i + 3) == "}");
+        if (unseeded) {
+          f.report(i, "ambient-rand",
+                   "default-constructed random engine '" + std::string(t) +
+                       " " + std::string(name) +
+                       "' — seed it explicitly for reproducible streams");
+        }
+      }
+    }
+  }
+}
+
+void rule_hot_path_callable(const FileScan& f) {
+  for (std::size_t i = 0; i + 2 < f.tokens.size(); ++i) {
+    if (f.tok(i) == "std" && f.tok(i + 1) == "::" &&
+        (f.tok(i + 2) == "function" || f.tok(i + 2) == "bind")) {
+      f.report(i + 2, "hot-path-callable",
+               "std::" + std::string(f.tok(i + 2)) +
+                   " in a DES hot-path header — use des::EventFn or a "
+                   "template parameter (keeps the event arena allocation-free)");
+    }
+  }
+}
+
+void rule_unordered_iter(const FileScan& f) {
+  // Pass 1: names declared with an unordered container type in this file.
+  std::set<std::string_view> vars;
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    if (kUnorderedContainers.count(f.tok(i)) == 0) continue;
+    std::size_t j = i + 1;
+    if (f.tok(j) == "<") {
+      int depth = 1;
+      ++j;
+      while (j < f.tokens.size() && depth > 0) {
+        if (f.tok(j) == "<") ++depth;
+        if (f.tok(j) == ">") --depth;
+        ++j;
+      }
+    }
+    // Skip ref/pointer declarators and trailing cv-qualifiers so parameters
+    // like `const std::unordered_map<K, V>& name` are tracked too.
+    while (f.tok(j) == "&" || f.tok(j) == "&&" || f.tok(j) == "*" ||
+           f.tok(j) == "const")
+      ++j;
+    const std::string_view name = f.tok(j);
+    if (!name.empty() && (std::isalpha(static_cast<unsigned char>(name[0])) ||
+                          name[0] == '_'))
+      vars.insert(name);
+  }
+  if (vars.empty()) return;
+
+  auto flag = [&](std::size_t i, std::string_view name) {
+    f.report(i, "unordered-iter",
+             "iteration over unordered container '" + std::string(name) +
+                 "' — iteration order is implementation-defined and must not "
+                 "reach serialized output or virtual-time decisions (use "
+                 "std::map or sort first)");
+  };
+
+  // Pass 2a: range-for whose range expression names one of the containers.
+  for (std::size_t i = 0; i + 1 < f.tokens.size(); ++i) {
+    if (f.tok(i) != "for" || f.tok(i + 1) != "(") continue;
+    int depth = 1;
+    std::size_t j = i + 2;
+    std::size_t colon = 0;
+    while (j < f.tokens.size() && depth > 0) {
+      if (f.tok(j) == "(") ++depth;
+      if (f.tok(j) == ")") --depth;
+      if (depth == 1 && f.tok(j) == ":" && colon == 0) colon = j;
+      ++j;
+    }
+    if (colon == 0) continue;
+    for (std::size_t k = colon + 1; k < j; ++k) {
+      if (vars.count(f.tok(k)) != 0) {
+        flag(i, f.tok(k));
+        break;
+      }
+    }
+  }
+  // Pass 2b: iterator walks (`m.begin()` / `m.cbegin()`).
+  for (std::size_t i = 0; i + 3 < f.tokens.size(); ++i) {
+    if (vars.count(f.tok(i)) != 0 &&
+        (f.tok(i + 1) == "." || f.tok(i + 1) == "->") &&
+        (f.tok(i + 2) == "begin" || f.tok(i + 2) == "cbegin" ||
+         f.tok(i + 2) == "rbegin") &&
+        f.tok(i + 3) == "(") {
+      flag(i, f.tok(i));
+    }
+  }
+}
+
+void rule_naked_new(const FileScan& f) {
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    const std::string_view t = f.tok(i);
+    const std::string_view prev = i > 0 ? f.tok(i - 1) : std::string_view{};
+    if (prev == "operator") continue;  // operator new/delete definitions
+    if (t == "new") {
+      if (f.tok(i + 1) == "(") continue;  // placement new: ::new (ptr) T(...)
+      f.report(i, "naked-new",
+               "naked 'new' outside src/support — own the allocation with a "
+               "container, std::unique_ptr, or an arena");
+    } else if (t == "delete") {
+      if (prev == "=") continue;  // = delete
+      f.report(i, "naked-new",
+               "naked 'delete' outside src/support — pair allocations with "
+               "owning types instead");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleSpec>& rules() { return kRules; }
+
+std::vector<Finding> lint_content(std::string_view logical_path,
+                                  std::string_view content) {
+  // Normalise path separators so the prefix scoping is portable.
+  std::string path(logical_path);
+  std::replace(path.begin(), path.end(), '\\', '/');
+
+  const std::vector<ScannedLine> lines = scan(content);
+  const std::vector<Token> tokens = tokenize(lines);
+  const Allows allows = parse_allows(path, lines);
+
+  std::vector<Finding> raw;
+  const FileScan f{path, tokens, &raw};
+  if (rule_applies(*find_rule("wall-clock"), path)) rule_wall_clock(f);
+  if (rule_applies(*find_rule("ambient-rand"), path)) rule_ambient_rand(f);
+  if (rule_applies(*find_rule("hot-path-callable"), path))
+    rule_hot_path_callable(f);
+  if (rule_applies(*find_rule("unordered-iter"), path)) rule_unordered_iter(f);
+  if (rule_applies(*find_rule("naked-new"), path)) rule_naked_new(f);
+
+  std::vector<Finding> findings;
+  for (auto& fnd : raw) {
+    if (!allows.allowed(fnd.line, fnd.rule)) findings.push_back(std::move(fnd));
+  }
+  findings.insert(findings.end(), allows.errors.begin(), allows.errors.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) { return a.line < b.line; });
+  return findings;
+}
+
+std::size_t lint_tree(const std::filesystem::path& root,
+                      const std::vector<std::string>& subdirs,
+                      std::vector<Finding>& out) {
+  namespace fs = std::filesystem;
+  std::size_t files = 0;
+  std::vector<fs::path> paths;
+  for (const auto& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      const fs::path& p = it->path();
+      const std::string name = p.filename().string();
+      if (it->is_directory()) {
+        // Skip build trees and the lint test corpus (fixtures are violations
+        // on purpose).
+        if (name.starts_with("build") || name == "fixtures")
+          it.disable_recursion_pending();
+        continue;
+      }
+      const std::string ext = p.extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+          ext == ".hh")
+        paths.push_back(p);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+    const std::string rel =
+        fs::relative(p, root).generic_string();
+    auto findings = lint_content(rel, content);
+    out.insert(out.end(), std::make_move_iterator(findings.begin()),
+               std::make_move_iterator(findings.end()));
+    ++files;
+  }
+  return files;
+}
+
+std::string format_finding(const Finding& f) {
+  return f.path + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+}  // namespace speclint

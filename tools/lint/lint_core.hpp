@@ -1,0 +1,76 @@
+// specomp-lint: the repo's determinism-invariant checker.
+//
+// The measurement claims of this repo (speculation error rates, recomputation
+// counts, Figure 8 speedups) rest on two structural properties:
+//
+//   * the SimCommunicator world is bit-deterministic — virtual time must
+//     never be influenced by wall-clock reads, ambient randomness, or
+//     unordered-container iteration order;
+//   * the DES hot path stays allocation-free — PR 3's event arena regresses
+//     silently if someone reintroduces std::function or naked new/delete.
+//
+// PR 3 asserts these properties empirically (bit-identity reruns, TSan CI);
+// this linter enforces them structurally, at token level, so a violation is
+// caught when the line is written instead of when a bench goes flaky.
+//
+// Design: a hand-rolled line scanner (comments, string/char literals and
+// preprocessor lines are blanked before matching; block comments and raw
+// strings carry state across lines) feeds a small path-scoped rule table.
+// No compiler, no AST, no third-party deps — it lints the whole tree in
+// milliseconds and builds anywhere a C++20 compiler exists.
+//
+// Suppression: a finding is silenced by a justified directive on the same
+// line or the line above:
+//
+//   // specomp-lint: allow(wall-clock): real-time backend measures wall time
+//
+// The justification text is mandatory; a bare allow() is itself reported
+// (rule `bad-allow`), so silencing always leaves a reviewable reason behind.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace speclint {
+
+struct Finding {
+  std::string path;   // logical path the rule scoping saw
+  int line = 0;       // 1-based
+  std::string rule;   // rule id, e.g. "wall-clock"
+  std::string message;
+};
+
+struct RuleSpec {
+  std::string_view id;
+  std::string_view summary;
+  /// Path prefixes (relative, '/'-separated) the rule applies to; empty
+  /// means the whole tree.
+  std::vector<std::string_view> include_prefixes;
+  std::vector<std::string_view> exclude_prefixes;
+  /// Restrict to headers (.hpp/.h) — used by the DES hot-path rule.
+  bool headers_only = false;
+};
+
+/// The rule table, in reporting order.  Exposed for --list-rules and tests.
+const std::vector<RuleSpec>& rules();
+
+/// Lints one file's content.  `logical_path` is the repo-relative path used
+/// for rule scoping (e.g. "src/des/event.hpp"); tests pass synthetic paths
+/// to aim fixtures at specific rules.
+std::vector<Finding> lint_content(std::string_view logical_path,
+                                  std::string_view content);
+
+/// Walks `root`/`subdir` for each subdir (skipping build*/ and fixtures/),
+/// lints every .cpp/.hpp/.h/.cc and appends the findings.  Returns the
+/// number of files visited.
+std::size_t lint_tree(const std::filesystem::path& root,
+                      const std::vector<std::string>& subdirs,
+                      std::vector<Finding>& out);
+
+/// "path:line: [rule] message" — the single formatting used by the CLI, the
+/// CI log and the report artifact.
+std::string format_finding(const Finding& f);
+
+}  // namespace speclint

@@ -1,0 +1,92 @@
+// specomp-lint CLI — walks the tree and enforces the determinism invariants.
+//
+//   $ specomp-lint --root . src bench tests          # what CI runs
+//   $ specomp-lint --root . --out lint-report.txt src bench tests
+//   $ specomp-lint --list-rules
+//
+// Exit status: 0 clean, 1 findings, 2 usage error.  See lint_core.hpp for
+// the rule semantics and the suppression-directive policy.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace {
+
+void print_rules() {
+  std::printf("specomp-lint rules:\n");
+  for (const auto& rule : speclint::rules()) {
+    std::printf("  %-18s %s\n", std::string(rule.id).c_str(),
+                std::string(rule.summary).c_str());
+    if (!rule.include_prefixes.empty()) {
+      std::printf("  %-18s   scope:", "");
+      for (const auto& p : rule.include_prefixes)
+        std::printf(" %s", std::string(p).c_str());
+      for (const auto& p : rule.exclude_prefixes)
+        std::printf(" -%s", std::string(p).c_str());
+      if (rule.headers_only) std::printf(" (headers only)");
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nsuppress with: // specomp-lint: allow(<rule>): <justification>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string out_path;
+  std::vector<std::string> subdirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    }
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: specomp-lint [--root DIR] [--out FILE] "
+                   "[--list-rules] [subdir...]\n");
+      return 2;
+    } else {
+      subdirs.push_back(arg);
+    }
+  }
+  if (subdirs.empty()) subdirs = {"src", "bench", "tests"};
+
+  std::vector<speclint::Finding> findings;
+  const std::size_t files = speclint::lint_tree(root, subdirs, findings);
+
+  std::string report;
+  for (const auto& f : findings) {
+    report += speclint::format_finding(f);
+    report += '\n';
+  }
+  std::map<std::string, int> by_rule;
+  for (const auto& f : findings) ++by_rule[f.rule];
+  report += "specomp-lint: " + std::to_string(files) + " files, " +
+            std::to_string(findings.size()) + " finding(s)";
+  for (const auto& [rule, count] : by_rule)
+    report += "  " + rule + "=" + std::to_string(count);
+  report += '\n';
+
+  std::fputs(report.c_str(), findings.empty() ? stdout : stderr);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << report;
+  }
+  return findings.empty() ? 0 : 1;
+}
