@@ -13,6 +13,7 @@
 #include "apps/heat.hpp"
 #include "apps/jacobi.hpp"
 #include "obs/artifacts.hpp"
+#include "runtime/fault.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -39,6 +40,31 @@ int main(int argc, char** argv) {
   const auto p = static_cast<std::size_t>(cli.get_int("p", 8));
   const long iterations = cli.get_int("iterations", 50);
 
+  // Fault injection (DESIGN.md §9): --fault-plan=drop:0.05,... injects
+  // deterministic faults on every run below and arms the engine's graceful
+  // degradation so overdue halos are speculated past FW instead of stalling.
+  runtime::FaultPlanPtr fault;
+  const std::string fault_spec = cli.get("fault-plan", "");
+  if (!fault_spec.empty()) {
+    runtime::FaultPlanConfig fault_config;
+    // The modelled LAN delivers in ~80-100 ms; a 1 s ARQ timeout makes a
+    // retransmitted halo clearly late without freezing the pipeline.
+    fault_config.retransmit_timeout_seconds = 1.0;
+    fault_config.seed =
+        static_cast<std::uint64_t>(cli.get_int("fault-seed", 0xfa017));
+    std::string fault_error;
+    if (!runtime::parse_fault_plan(fault_spec, fault_config, fault_error)) {
+      std::fprintf(stderr, "error: bad --fault-plan: %s\n",
+                   fault_error.c_str());
+      return 1;
+    }
+    fault =
+        std::make_shared<const runtime::FaultPlan>(std::move(fault_config));
+  }
+  runtime::FaultStats fault_total;
+  std::uint64_t degraded_entries = 0;
+  std::uint64_t degraded_iterations = 0;
+
   support::Table results({"app", "fw", "makespan_s", "accuracy", "k_percent"});
 
   std::printf("== Jacobi solver, 512 unknowns, %zu processors ==\n", p);
@@ -50,7 +76,12 @@ int main(int argc, char** argv) {
     s.theta = 1e-3;
     s.sim = latency_bound_network(p);
     s.sim.hb_check = cli.get_bool("hb-check");
+    s.sim.fault = fault;
+    s.graceful_degradation = fault != nullptr;
     const JacobiRunResult run = run_jacobi_scenario(s);
+    fault_total.merge(run.sim.fault_stats);
+    degraded_entries += run.spec.degraded_entries;
+    degraded_iterations += run.spec.degraded_iterations;
     std::printf(
         "  FW=%d: %6.2f s, residual %.2e, k = %.1f%% (%llu corrections)\n",
         fw, run.sim.makespan_seconds, run.residual,
@@ -77,7 +108,12 @@ int main(int argc, char** argv) {
     s.sim = latency_bound_network(p);
     s.sim.record_trace = fw == 2 && artifacts.wants_trace();
     s.sim.hb_check = cli.get_bool("hb-check");
+    s.sim.fault = fault;
+    s.graceful_degradation = fault != nullptr;
     const HeatRunResult run = run_heat_scenario(s);
+    fault_total.merge(run.sim.fault_stats);
+    degraded_entries += run.spec.degraded_entries;
+    degraded_iterations += run.spec.degraded_iterations;
     const auto serial = serial_heat(s.problem, s.iterations);
     double deviation = 0.0;
     for (std::size_t i = 0; i < serial.size(); ++i)
@@ -99,9 +135,36 @@ int main(int argc, char** argv) {
       "\nthe same SpecEngine drives N-body, Jacobi and the heat stencil — "
       "only pack/compute/error/correct hooks differ per application.\n");
 
+  if (fault != nullptr) {
+    std::printf(
+        "\nfaults (all runs): %llu drops (%llu retransmits, %llu lost), "
+        "%llu dups (%llu suppressed), %llu reorders; degraded mode entered "
+        "%llu times, %llu iterations computed past FW\n",
+        static_cast<unsigned long long>(fault_total.injected_drops),
+        static_cast<unsigned long long>(fault_total.retransmits),
+        static_cast<unsigned long long>(fault_total.messages_lost),
+        static_cast<unsigned long long>(fault_total.injected_duplicates),
+        static_cast<unsigned long long>(fault_total.duplicates_suppressed),
+        static_cast<unsigned long long>(fault_total.injected_reorders),
+        static_cast<unsigned long long>(degraded_entries),
+        static_cast<unsigned long long>(degraded_iterations));
+  }
+
   artifacts.add_table("heat_jacobi", results);
   artifacts.add_entry("processors", obs::Json(p));
   artifacts.add_entry("iterations", obs::Json(iterations));
+  if (fault != nullptr) {
+    artifacts.add_entry("fault_plan", obs::Json(fault_spec));
+    artifacts.add_entry("fault_injected_drops",
+                        obs::Json(fault_total.injected_drops));
+    artifacts.add_entry("fault_retransmits",
+                        obs::Json(fault_total.retransmits));
+    artifacts.add_entry("fault_duplicates_suppressed",
+                        obs::Json(fault_total.duplicates_suppressed));
+    artifacts.add_entry("degraded_entries", obs::Json(degraded_entries));
+    artifacts.add_entry("degraded_iterations",
+                        obs::Json(degraded_iterations));
+  }
   for (const auto& unknown : cli.unused())
     std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
   return artifacts.flush() ? 0 : 1;

@@ -14,6 +14,7 @@
 #include "nbody/kernels/dispatch.hpp"
 #include "nbody/scenario.hpp"
 #include "obs/artifacts.hpp"
+#include "runtime/fault.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -40,6 +41,28 @@ int main(int argc, char** argv) {
   // runtime/hb_check.hpp).  Aborts with a causal-path diagnostic on any
   // unsynchronized delivery instead of silently corrupting the measurement.
   s.sim.hb_check = cli.get_bool("hb-check");
+  // Fault injection (DESIGN.md §9): --fault-plan=drop:0.05,... arms the
+  // deterministic FaultPlan on every link and switches the engine into
+  // graceful degradation so overdue peers are masked by speculation rather
+  // than blocking the pipeline.
+  const std::string fault_spec = cli.get("fault-plan", "");
+  if (!fault_spec.empty()) {
+    runtime::FaultPlanConfig fault_config;
+    // Healthy round trips on the calibrated testbed are ~6 s; size the ARQ
+    // backoff so a retransmitted block is late, not geologically late.
+    fault_config.retransmit_timeout_seconds = 4.0;
+    fault_config.seed =
+        static_cast<std::uint64_t>(cli.get_int("fault-seed", 0xfa017));
+    std::string fault_error;
+    if (!runtime::parse_fault_plan(fault_spec, fault_config, fault_error)) {
+      std::fprintf(stderr, "error: bad --fault-plan: %s\n",
+                   fault_error.c_str());
+      return 1;
+    }
+    s.sim.fault =
+        std::make_shared<const runtime::FaultPlan>(std::move(fault_config));
+    s.graceful_degradation = true;
+  }
   const std::string kernel_arg = cli.get("kernel", "auto");
   if (const auto kernel = kernels::parse_force_kernel(kernel_arg))
     kernels::set_default_force_kernel(*kernel);
@@ -56,11 +79,14 @@ int main(int argc, char** argv) {
 
   const NBodyRunResult run = run_scenario(s);
 
-  // Speedup baseline: same workload on the fastest machine alone.
+  // Speedup baseline: same workload on the fastest machine alone.  Always
+  // fault-free — faults degrade the parallel run, not the yardstick.
   NBodyScenario serial = s;
   serial.sim.cluster = runtime::Cluster::paper_fleet().prefix(1);
   serial.algorithm = Algorithm::Speculative;
   serial.forward_window = 0;
+  serial.sim.fault = nullptr;
+  serial.graceful_degradation = false;
   const double t1 = run_scenario(serial).sim.makespan_seconds;
 
   const Diagnostics after =
@@ -101,6 +127,27 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(run.sim.channel_stats.messages),
               static_cast<double>(run.sim.channel_stats.bytes) / 1e6,
               run.sim.channel_stats.delay_seconds.mean());
+  if (s.sim.fault != nullptr) {
+    const runtime::FaultStats& fs = run.sim.fault_stats;
+    std::printf(
+        "faults: %llu drops (%llu retransmits, %llu lost), %llu dups "
+        "(%llu suppressed), %llu reorders, %llu slowdowns, %llu stalls, "
+        "%llu crashed ranks\n",
+        static_cast<unsigned long long>(fs.injected_drops),
+        static_cast<unsigned long long>(fs.retransmits),
+        static_cast<unsigned long long>(fs.messages_lost),
+        static_cast<unsigned long long>(fs.injected_duplicates),
+        static_cast<unsigned long long>(fs.duplicates_suppressed),
+        static_cast<unsigned long long>(fs.injected_reorders),
+        static_cast<unsigned long long>(fs.slowdown_charges),
+        static_cast<unsigned long long>(fs.stalls),
+        static_cast<unsigned long long>(fs.crashed_ranks));
+    std::printf(
+        "degraded mode: entered %llu times, %llu iterations computed past "
+        "FW\n",
+        static_cast<unsigned long long>(run.spec.degraded_entries),
+        static_cast<unsigned long long>(run.spec.degraded_iterations));
+  }
 
   obs::RunReport report;
   report.binary = "nbody_sim";
@@ -123,6 +170,23 @@ int main(int argc, char** argv) {
   report.extra.set("energy_drift_fraction",
                    obs::Json(std::fabs(after.total_energy() - before.total_energy()) /
                              std::fabs(before.total_energy())));
+  if (s.sim.fault != nullptr) {
+    const runtime::FaultStats& fs = run.sim.fault_stats;
+    report.extra.set("fault_plan", obs::Json(fault_spec));
+    report.extra.set("fault_injected_drops", obs::Json(fs.injected_drops));
+    report.extra.set("fault_retransmits", obs::Json(fs.retransmits));
+    report.extra.set("fault_messages_lost", obs::Json(fs.messages_lost));
+    report.extra.set("fault_injected_duplicates",
+                     obs::Json(fs.injected_duplicates));
+    report.extra.set("fault_duplicates_suppressed",
+                     obs::Json(fs.duplicates_suppressed));
+    report.extra.set("fault_injected_reorders",
+                     obs::Json(fs.injected_reorders));
+    report.extra.set("fault_crashed_ranks", obs::Json(fs.crashed_ranks));
+    report.extra.set("degraded_entries", obs::Json(run.spec.degraded_entries));
+    report.extra.set("degraded_iterations",
+                     obs::Json(run.spec.degraded_iterations));
+  }
   artifacts.set_run_report(report);
   if (artifacts.wants_trace())
     artifacts.set_trace(run.sim.trace, s.sim.cluster.size());

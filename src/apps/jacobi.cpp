@@ -178,7 +178,10 @@ JacobiRunResult run_jacobi_scenario(const JacobiScenario& scenario) {
     spec::EngineConfig engine_config;
     engine_config.forward_window = scenario.forward_window;
     engine_config.threshold = scenario.theta;
-    if (scenario.forward_window > 0)
+    engine_config.graceful_degradation = scenario.graceful_degradation;
+    engine_config.overdue_after_seconds = scenario.overdue_after_seconds;
+    engine_config.max_degraded_window = scenario.max_degraded_window;
+    if (scenario.forward_window > 0 || scenario.graceful_degradation)
       engine_config.speculator = spec::make_speculator(scenario.speculator);
     spec::SpecEngine engine(comm, app, engine_config,
                             JacobiApp::initial_blocks(partition));

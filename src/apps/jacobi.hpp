@@ -83,6 +83,11 @@ struct JacobiScenario {
   double theta = 1e-3;
   std::string speculator = "linear";
   runtime::SimConfig sim;
+  /// Engine graceful degradation under faults (DESIGN.md Â§9); the examples
+  /// arm this whenever a fault plan is given.
+  bool graceful_degradation = false;
+  double overdue_after_seconds = 1.0;
+  int max_degraded_window = 8;
 };
 
 struct JacobiRunResult {

@@ -11,6 +11,7 @@ char span_symbol(SpanKind kind) noexcept {
   switch (kind) {
     case SpanKind::Compute: return 'C';
     case SpanKind::SpeculativeCompute: return '*';
+    case SpanKind::DegradedCompute: return 'D';
     case SpanKind::Speculate: return 's';
     case SpanKind::Check: return 'k';
     case SpanKind::Correct: return 'R';
@@ -25,6 +26,7 @@ const char* span_name(SpanKind kind) noexcept {
   switch (kind) {
     case SpanKind::Compute: return "compute";
     case SpanKind::SpeculativeCompute: return "speculative compute";
+    case SpanKind::DegradedCompute: return "degraded compute";
     case SpanKind::Speculate: return "speculate";
     case SpanKind::Check: return "check";
     case SpanKind::Correct: return "correct/recompute";
@@ -82,8 +84,9 @@ std::string Trace::gantt(std::size_t lanes, std::size_t columns) const {
     os << "P" << lane << " |" << rows[lane] << "|\n";
   os << "legend:";
   for (SpanKind k :
-       {SpanKind::Compute, SpanKind::SpeculativeCompute, SpanKind::Speculate,
-        SpanKind::Check, SpanKind::Correct, SpanKind::Wait, SpanKind::Send})
+       {SpanKind::Compute, SpanKind::SpeculativeCompute,
+        SpanKind::DegradedCompute, SpanKind::Speculate, SpanKind::Check,
+        SpanKind::Correct, SpanKind::Wait, SpanKind::Send})
     os << "  " << span_symbol(k) << "=" << span_name(k);
   os << "\n";
   return os.str();

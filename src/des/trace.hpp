@@ -16,6 +16,9 @@ namespace specomp::des {
 enum class SpanKind : std::uint8_t {
   Compute,
   SpeculativeCompute,
+  /// Compute past FW on speculated inputs because a peer is overdue — the
+  /// engine's graceful-degradation mode (spec/engine.hpp).
+  DegradedCompute,
   Speculate,
   Check,
   Correct,

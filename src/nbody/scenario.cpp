@@ -83,7 +83,12 @@ NBodyRunResult run_scenario(const NBodyScenario& scenario) {
       engine_config.window_policy = std::make_shared<spec::HillClimbWindowPolicy>();
       engine_config.max_forward_window = scenario.max_forward_window;
     }
-    if (engine_config.forward_window > 0 || engine_config.window_policy != nullptr) {
+    engine_config.graceful_degradation = scenario.graceful_degradation;
+    engine_config.overdue_after_seconds = scenario.overdue_after_seconds;
+    engine_config.max_degraded_window = scenario.max_degraded_window;
+    if (engine_config.forward_window > 0 ||
+        engine_config.window_policy != nullptr ||
+        engine_config.graceful_degradation) {
       engine_config.speculator =
           scenario.speculator == "kinematic"
               ? std::make_shared<KinematicSpeculator>(scenario.body.dt)

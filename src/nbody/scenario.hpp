@@ -45,6 +45,17 @@ struct NBodyScenario {
   int max_forward_window = 8;
   /// Collect the true force-error distribution (Table 3); costly.
   bool measure_force_error = false;
+  /// Engine graceful degradation under faults (DESIGN.md §9): keep
+  /// computing on speculated values when a peer is overdue past FW.  The
+  /// examples arm this whenever a fault plan is given; leave it off for
+  /// fault-free determinism baselines.
+  bool graceful_degradation = false;
+  /// How long the oldest speculation may stay unresolved before degrading.
+  /// The testbed's healthy round trip is ~5.5-6 s propagation + backoff, so
+  /// the default only fires on genuinely faulted links.
+  double overdue_after_seconds = 3.0;
+  /// Hard cap on outstanding speculations per peer while degraded.
+  int max_degraded_window = 12;
 };
 
 struct NBodyRunResult {

@@ -51,6 +51,17 @@ class Communicator {
   /// Blocking receive from any source (Fig. 7 processes messages in
   /// arrival order).
   virtual net::Message recv_any(int tag) = 0;
+  /// Blocking receive bounded by a timeout (local seconds): returns true and
+  /// fills `out` on delivery, false once the timeout elapses with no match.
+  /// A negative timeout blocks forever.  The default forwards to recv() —
+  /// backends without a clock to wait against behave as if the message is
+  /// never overdue.  Used by the engine's graceful-degradation path.
+  virtual bool recv_timeout(net::Rank src, int tag, double timeout_seconds,
+                            net::Message& out) {
+    (void)timeout_seconds;
+    out = recv(src, tag);
+    return true;
+  }
   /// Synchronises all ranks.
   virtual void barrier() = 0;
 
@@ -61,6 +72,10 @@ class Communicator {
   /// Marks subsequent Compute charges as based on speculated inputs — only
   /// affects trace rendering (Fig. 2 distinguishes them with '*').
   virtual void mark_speculative(bool on) { (void)on; }
+  /// Marks subsequent Compute charges as running in the engine's degraded
+  /// mode (a peer is overdue and the rank is speculating past FW).  Only
+  /// affects trace rendering; see spec/engine.hpp.
+  virtual void mark_degraded(bool on) { (void)on; }
 
   PhaseTimer& timer() noexcept { return timer_; }
   const PhaseTimer& timer() const noexcept { return timer_; }

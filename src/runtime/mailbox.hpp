@@ -38,14 +38,23 @@
 
 namespace specomp::runtime {
 
+/// How a mailbox orders messages within one (src, tag) stream.  BySeq (the
+/// default) reassembles sender order — which is also what recovers from
+/// network-level reordering injected by a FaultPlan.  ByArrival hands
+/// messages out in delivery order, so injected reordering stays observable
+/// (fault plans with recovery off use it to demonstrate the failure mode).
+enum class DeliveryOrder : std::uint8_t { BySeq, ByArrival };
+
 namespace detail_mailbox {
 
-/// One (src, tag) stream: a min-heap of messages keyed by sender sequence
-/// number.  Seqs within a stream are unique (each sender numbers its own
-/// messages), so the head is the unambiguous next message in send order.
+/// One (src, tag) stream: a min-heap of messages keyed by `key` — the
+/// sender sequence number under DeliveryOrder::BySeq (seqs within a stream
+/// are unique, so the head is the unambiguous next message in send order)
+/// or the arrival counter under ByArrival.
 struct Stored {
   net::Message msg;
   std::uint64_t arrival = 0;
+  std::uint64_t key = 0;
 };
 
 class SeqStream {
@@ -60,7 +69,7 @@ class SeqStream {
     std::size_t hole = heap_.size() - 1;
     while (hole > 0) {
       const std::size_t parent = (hole - 1) / 2;
-      if (heap_[parent].msg.seq <= heap_[hole].msg.seq) break;
+      if (heap_[parent].key <= heap_[hole].key) break;
       std::swap(heap_[parent], heap_[hole]);
       hole = parent;
     }
@@ -77,8 +86,8 @@ class SeqStream {
       if (left >= n) break;
       std::size_t best = left;
       const std::size_t right = left + 1;
-      if (right < n && heap_[right].msg.seq < heap_[left].msg.seq) best = right;
-      if (heap_[hole].msg.seq <= heap_[best].msg.seq) break;
+      if (right < n && heap_[right].key < heap_[left].key) best = right;
+      if (heap_[hole].key <= heap_[best].key) break;
       std::swap(heap_[hole], heap_[best]);
       hole = best;
     }
@@ -96,12 +105,16 @@ class SeqStream {
 class SimMailbox {
  public:
   /// `num_sources` = cluster size; streams are indexed by source rank.
-  explicit SimMailbox(int num_sources)
-      : num_sources_(num_sources > 0 ? num_sources : 1) {}
+  explicit SimMailbox(int num_sources,
+                      DeliveryOrder order = DeliveryOrder::BySeq)
+      : num_sources_(num_sources > 0 ? num_sources : 1), order_(order) {}
 
   void push(net::Message msg) {
+    const std::uint64_t arrival = next_arrival_++;
+    const std::uint64_t key =
+        order_ == DeliveryOrder::BySeq ? msg.seq : arrival;
     streams_for(msg.tag)[static_cast<std::size_t>(msg.src)].push(
-        {std::move(msg), next_arrival_++});
+        {std::move(msg), arrival, key});
   }
 
   bool take(net::Rank src, int tag, net::Message& out) {
@@ -127,11 +140,11 @@ class SimMailbox {
   }
 
  private:
-  /// Cross-stream selection rule of the old linear scan: lowest seq first,
-  /// equal seqs resolve by arrival order.
+  /// Cross-stream selection rule of the old linear scan: lowest key (seq in
+  /// BySeq mode) first, ties resolve by arrival order.
   static bool wins(const detail_mailbox::Stored& a,
                    const detail_mailbox::Stored& b) noexcept {
-    if (a.msg.seq != b.msg.seq) return a.msg.seq < b.msg.seq;
+    if (a.key != b.key) return a.key < b.key;
     return a.arrival < b.arrival;
   }
 
@@ -142,6 +155,7 @@ class SimMailbox {
   }
 
   int num_sources_;
+  DeliveryOrder order_;
   std::uint64_t next_arrival_ = 0;
   std::unordered_map<int, std::vector<detail_mailbox::SeqStream>> by_tag_;
 };
@@ -153,8 +167,9 @@ class TimedMailbox {
   // specomp-lint: allow(wall-clock): TimedMailbox serves the real-thread backend, whose delivery delays are genuine wall time
   using Clock = std::chrono::steady_clock;
 
-  explicit TimedMailbox(int num_sources)
-      : num_sources_(num_sources > 0 ? num_sources : 1) {}
+  explicit TimedMailbox(int num_sources,
+                        DeliveryOrder order = DeliveryOrder::BySeq)
+      : num_sources_(num_sources > 0 ? num_sources : 1), order_(order) {}
 
   void deliver(net::Message msg, Clock::time_point deliver_at) {
     {
@@ -210,6 +225,27 @@ class TimedMailbox {
     }
   }
 
+  /// take_blocking bounded by a deadline: returns nullopt if no matching
+  /// message became receivable by `deadline`.
+  std::optional<net::Message> take_blocking_until(net::Rank src, int tag,
+                                                  Clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      const auto now = Clock::now();
+      if (auto msg = take_locked(src, tag, now)) return msg;
+      if (now >= deadline) return std::nullopt;
+      auto next_ready = deadline;
+      if (auto it = by_tag_.find(tag); it != by_tag_.end()) {
+        const auto& stream = it->second[static_cast<std::size_t>(src)];
+        if (!stream.pending.empty() &&
+            stream.pending.front().deliver_at < next_ready) {
+          next_ready = stream.pending.front().deliver_at;
+        }
+      }
+      wait(lock, next_ready);
+    }
+  }
+
  private:
   struct Timed {
     net::Message msg;
@@ -242,7 +278,9 @@ class TimedMailbox {
       std::pop_heap(stream.pending.begin(), stream.pending.end(), later);
       Timed timed = std::move(stream.pending.back());
       stream.pending.pop_back();
-      stream.ready.push({std::move(timed.msg), timed.arrival});
+      const std::uint64_t key =
+          order_ == DeliveryOrder::BySeq ? timed.msg.seq : timed.arrival;
+      stream.ready.push({std::move(timed.msg), timed.arrival, key});
     }
   }
 
@@ -264,8 +302,8 @@ class TimedMailbox {
       promote(stream, now);
       if (stream.ready.empty()) continue;
       if (best == nullptr ||
-          stream.ready.front().msg.seq < best->front().msg.seq ||
-          (stream.ready.front().msg.seq == best->front().msg.seq &&
+          stream.ready.front().key < best->front().key ||
+          (stream.ready.front().key == best->front().key &&
            stream.ready.front().arrival < best->front().arrival)) {
         best = &stream.ready;
       }
@@ -283,6 +321,7 @@ class TimedMailbox {
   }
 
   int num_sources_;
+  DeliveryOrder order_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::uint64_t next_arrival_ = 0;  // guarded by mutex_

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <tuple>
 #include <utility>
 
+#include "net/buffer_pool.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/hb_check.hpp"
 #include "support/contracts.hpp"
@@ -42,9 +44,27 @@ class SimWorld {
       comm->process_ = kernel_.spawn(
           "rank" + std::to_string(r),
           [this, comm, &body](des::Process& proc) {
-            body(*comm);
+            try {
+              body(*comm);
+            } catch (const RankCrashed&) {
+              // Fail-stop: the rank simply stops executing; peers run on.
+              ++fault_stats_.crashed_ranks;
+            }
             finish_times_[static_cast<std::size_t>(comm->rank_)] = proc.now();
           });
+    }
+    if (config_.fault != nullptr) {
+      // A rank blocked in a receive has no event of its own at the crash
+      // instant — schedule a wake there so it resumes, notices local time
+      // reached the crash time, and raises.  Late wakes of finished
+      // processes are harmless no-ops.
+      for (int r = 0; r < num_ranks_; ++r) {
+        if (const auto t = config_.fault->crash_time(r)) {
+          des::Process* proc = comms_[static_cast<std::size_t>(r)]->process_;
+          kernel_.schedule_at(des::SimTime::seconds(*t),
+                              [proc] { proc->wake(); });
+        }
+      }
     }
     SimResult result;
     result.kernel_stats = kernel_.run();
@@ -67,6 +87,10 @@ class SimWorld {
     for (const auto& comm : comms_) result.timers.push_back(comm->timer());
     result.channel_stats = channel_->stats();
     result.trace = std::move(trace_);
+    result.fault_stats = fault_stats_;
+    // Mirror into the metrics registry only when a plan was armed, so
+    // fault-free runs do not grow "fault.*" zero rows in run reports.
+    if (config_.fault != nullptr) result.fault_stats.publish();
     return result;
   }
 
@@ -74,6 +98,27 @@ class SimWorld {
   int num_ranks() const noexcept { return num_ranks_; }
   des::Kernel& kernel() noexcept { return kernel_; }
   net::Channel& channel() noexcept { return *channel_; }
+  const FaultPlan* fault() const noexcept { return config_.fault.get(); }
+  FaultStats& fault_stats() noexcept { return fault_stats_; }
+  DeliveryOrder delivery_order() const noexcept {
+    return config_.fault != nullptr && config_.fault->arrival_order_delivery()
+               ? DeliveryOrder::ByArrival
+               : DeliveryOrder::BySeq;
+  }
+
+  /// Parks `msg` in the slot pool and schedules its arrival at
+  /// msg.delivered_at; the closure stays inline in the kernel's event
+  /// storage (see the in-flight pool note below).
+  void schedule_delivery(net::Message&& msg) {
+    const des::SimTime at = msg.delivered_at;
+    SimWorld* world = this;
+    const std::uint32_t slot = inflight_acquire(std::move(msg));
+    kernel_.schedule_at(at, [world, slot] {
+      net::Message delivered_msg = world->inflight_release(slot);
+      SimCommunicator& receiver = world->comm(delivered_msg.dst);
+      receiver.deliver_from_wire(std::move(delivered_msg));
+    });
+  }
   des::Trace* trace() noexcept { return config_.record_trace ? &trace_ : nullptr; }
   SimCommunicator& comm(net::Rank rank) {
     SPEC_EXPECTS(rank >= 0 && rank < num_ranks_);
@@ -138,6 +183,7 @@ class SimWorld {
   std::vector<net::Message> inflight_;
   std::vector<std::uint32_t> inflight_free_;
   des::Trace trace_;
+  FaultStats fault_stats_;
   int barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
 #if SPECOMP_HB_CHECK_ENABLED
@@ -146,7 +192,12 @@ class SimWorld {
 };
 
 SimCommunicator::SimCommunicator(SimWorld& world, net::Rank rank)
-    : world_(world), rank_(rank), mailbox_(world.num_ranks()) {}
+    : world_(world),
+      rank_(rank),
+      mailbox_(world.num_ranks(), world.delivery_order()) {
+  if (const FaultPlan* fault = world.fault())
+    crash_at_seconds_ = fault->crash_time(rank);
+}
 
 int SimCommunicator::size() const { return world_.num_ranks(); }
 
@@ -157,6 +208,7 @@ double SimCommunicator::ops_per_sec() const {
 des::SpanKind SimCommunicator::span_kind_for(Phase phase) const {
   switch (phase) {
     case Phase::Compute:
+      if (degraded_) return des::SpanKind::DegradedCompute;
       return speculative_ ? des::SpanKind::SpeculativeCompute
                           : des::SpanKind::Compute;
     case Phase::Communicate: return des::SpanKind::Wait;
@@ -183,6 +235,7 @@ void SimCommunicator::send(net::Rank dst, int tag,
                            std::vector<std::byte> payload) {
   SPEC_EXPECTS(dst >= 0 && dst < world_.num_ranks());
   SPEC_EXPECTS(dst != rank_);
+  maybe_crash();
   // Send-side software overhead (PVM pack + syscall) occupies this CPU.
   advance_traced(world_.config().send_sw_time, Phase::Send);
 
@@ -195,7 +248,48 @@ void SimCommunicator::send(net::Rank dst, int tag,
   msg.payload = std::move(payload);
   record_send(msg.payload.size());
 
-  const des::SimTime delivered = world_.channel().post(msg, process_->now());
+  FaultPlan::SendOutcome outcome;
+  const FaultPlan* fault = world_.fault();
+  if (fault != nullptr && fault->has_link_faults()) {
+    outcome = fault->on_send(rank_, dst, tag, msg.seq);
+    FaultStats& fs = world_.fault_stats();
+    fs.injected_drops += outcome.drops;
+    fs.retransmits += outcome.retransmits;
+    if (outcome.duplicated) ++fs.injected_duplicates;
+    if (outcome.reordered) ++fs.injected_reorders;
+    if (outcome.lost) {
+      // Recovery off: the transmission vanishes at the sender's NIC — no
+      // delivery event, no channel occupancy, and no happens-before send
+      // record (the detector must never see a send that cannot arrive).
+      ++fs.messages_lost;
+      net::BufferPool::local().release(std::move(msg.payload));
+      return;
+    }
+  }
+
+  des::SimTime delivered = world_.channel().post(msg, process_->now());
+  // Retransmit backoff and reorder hold resolve to a plain delivery delay:
+  // the application only ever observes a late message, which is exactly the
+  // misbehaviour speculation is claimed to mask.
+  if (outcome.extra_delay_seconds > 0.0)
+    delivered += des::SimTime::seconds(outcome.extra_delay_seconds);
+  if (fault != nullptr && fault->recovery() && fault->has_link_faults()) {
+    // Head-of-line blocking of an in-order reliable transport: a message
+    // the plan delayed floors the delivery of every later send on its
+    // (dst, tag) stream, so injected faults never invert send order (the
+    // mailbox can only reassemble what has already arrived).  Floors are
+    // created exclusively by fault-delayed messages, so a plan whose rules
+    // never fire leaves all delivery times — and the whole SimResult —
+    // byte-identical to a fault-free run.
+    const std::uint64_t stream =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 32 |
+        static_cast<std::uint32_t>(tag);
+    if (const auto it = delivery_floor_.find(stream);
+        it != delivery_floor_.end() && delivered < it->second) {
+      delivered = it->second;
+    }
+    if (outcome.extra_delay_seconds > 0.0) delivery_floor_[stream] = delivered;
+  }
   msg.delivered_at = delivered;
 
 #if SPECOMP_HB_CHECK_ENABLED
@@ -204,19 +298,51 @@ void SimCommunicator::send(net::Rank dst, int tag,
   if (HbChecker* hb = world_.hb()) hb->on_send(rank_, dst, tag, msg.seq);
 #endif
 
-  // Park the message in the world's slot pool; the delivery closure carries
-  // only {world, slot} so it stays inline in the kernel's event storage.
-  SimWorld* world = &world_;
-  const std::uint32_t slot = world_.inflight_acquire(std::move(msg));
-  world_.kernel().schedule_at(delivered, [world, slot] {
-    net::Message delivered_msg = world->inflight_release(slot);
-    SimCommunicator& receiver = world->comm(delivered_msg.dst);
-    receiver.mailbox_.push(std::move(delivered_msg));
-    receiver.process_->wake();
-  });
+  if (outcome.duplicated) {
+    // The network manufactures a second copy arriving shortly after the
+    // first; the receiver's dedup filter (recovery on) or the application
+    // (recovery off) deals with it.
+    net::Message copy = msg;
+    copy.delivered_at = delivered + des::SimTime::seconds(
+                                        fault->config().duplicate_offset_seconds);
+    world_.schedule_delivery(std::move(copy));
+  }
+  world_.schedule_delivery(std::move(msg));
+}
+
+void SimCommunicator::deliver_from_wire(net::Message&& msg) {
+  const FaultPlan* fault = world_.fault();
+  if (fault != nullptr && fault->wants_dedup() &&
+      fault->on_send(msg.src, rank_, msg.tag, msg.seq).duplicated) {
+    // on_send is a pure hash of the message identity, so recomputing it
+    // here answers "does this message have two copies in flight?" without
+    // any sender→receiver side channel.
+    const std::tuple<net::Rank, int, std::uint64_t> key{msg.src, msg.tag,
+                                                        msg.seq};
+    const auto it =
+        std::find(pending_dups_.begin(), pending_dups_.end(), key);
+    if (it != pending_dups_.end()) {
+      // Second copy: the filter restores at-most-once delivery.
+      pending_dups_.erase(it);
+      ++world_.fault_stats().duplicates_suppressed;
+      net::BufferPool::local().release(std::move(msg.payload));
+      return;
+    }
+    pending_dups_.push_back(key);
+  }
+  mailbox_.push(std::move(msg));
+  process_->wake();
+}
+
+void SimCommunicator::maybe_crash() {
+  if (crash_at_seconds_ &&
+      process_->now().to_seconds() >= *crash_at_seconds_) {
+    throw RankCrashed{};
+  }
 }
 
 bool SimCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
+  maybe_crash();
   // The mailbox indexes per-(src, tag) streams ordered by sender sequence
   // number, so iteration streams are consumed in send order even if jitter
   // reordered deliveries.
@@ -232,29 +358,70 @@ bool SimCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
   return true;
 }
 
+void SimCommunicator::note_received(const net::Message& msg,
+                                    des::SimTime wait_begin) {
+#if SPECOMP_HB_CHECK_ENABLED
+  if (HbChecker* hb = world_.hb()) {
+    hb->on_receive_sim(rank_, msg.src, msg.tag, msg.seq,
+                       msg.sent_at.to_seconds(), msg.delivered_at.to_seconds(),
+                       process_->now().to_seconds());
+  }
+#endif
+  const des::SimTime waited = process_->now() - wait_begin;
+  timer_.add(Phase::Communicate, waited);
+  record_receive(msg.payload.size());
+  record_recv_wait(waited.to_seconds());
+  if (des::Trace* trace = world_.trace();
+      trace != nullptr && waited > des::SimTime::zero()) {
+    trace->add_span(static_cast<std::uint64_t>(rank_), des::SpanKind::Wait,
+                    wait_begin, process_->now());
+  }
+}
+
 net::Message SimCommunicator::recv_blocking(bool any, net::Rank src, int tag) {
   const des::SimTime begin = process_->now();
   net::Message msg;
   for (;;) {
+    maybe_crash();
     if (any ? mailbox_.take_any(tag, msg) : mailbox_.take(src, tag, msg)) {
-#if SPECOMP_HB_CHECK_ENABLED
-      if (HbChecker* hb = world_.hb()) {
-        hb->on_receive_sim(rank_, msg.src, msg.tag, msg.seq,
-                           msg.sent_at.to_seconds(),
-                           msg.delivered_at.to_seconds(),
-                           process_->now().to_seconds());
-      }
-#endif
+      note_received(msg, begin);
+      return msg;
+    }
+    process_->suspend();
+  }
+}
+
+bool SimCommunicator::recv_timeout(net::Rank src, int tag,
+                                   double timeout_seconds, net::Message& out) {
+  if (timeout_seconds < 0.0) {
+    out = recv(src, tag);
+    return true;
+  }
+  const des::SimTime begin = process_->now();
+  const des::SimTime deadline = begin + des::SimTime::seconds(timeout_seconds);
+  // One wake at the deadline so a suspended receiver resumes to time out;
+  // if the message arrives first, the leftover wake of a non-suspended (or
+  // finished) process is a harmless no-op.
+  des::Process* proc = process_;
+  world_.kernel().schedule_at(deadline, [proc] { proc->wake(); });
+  net::Message msg;
+  for (;;) {
+    maybe_crash();
+    if (mailbox_.take(src, tag, msg)) {
+      note_received(msg, begin);
+      out = std::move(msg);
+      return true;
+    }
+    if (process_->now() >= deadline) {
       const des::SimTime waited = process_->now() - begin;
       timer_.add(Phase::Communicate, waited);
-      record_receive(msg.payload.size());
       record_recv_wait(waited.to_seconds());
       if (des::Trace* trace = world_.trace();
           trace != nullptr && waited > des::SimTime::zero()) {
         trace->add_span(static_cast<std::uint64_t>(rank_), des::SpanKind::Wait,
                         begin, process_->now());
       }
-      return msg;
+      return false;
     }
     process_->suspend();
   }
@@ -268,11 +435,41 @@ net::Message SimCommunicator::recv_any(int tag) {
   return recv_blocking(/*any=*/true, /*src=*/-1, tag);
 }
 
-void SimCommunicator::barrier() { world_.barrier_arrive(*this); }
+void SimCommunicator::barrier() {
+  maybe_crash();
+  world_.barrier_arrive(*this);
+}
 
 void SimCommunicator::compute(double ops, Phase phase) {
   SPEC_EXPECTS(ops >= 0.0);
-  advance_traced(des::SimTime::seconds(ops / ops_per_sec()), phase);
+  const FaultPlan* fault = world_.fault();
+  if (fault == nullptr) {
+    // Fault-free fast path: the exact pre-fault arithmetic, so unfaulted
+    // runs stay byte-identical and pay one pointer test.
+    advance_traced(des::SimTime::seconds(ops / ops_per_sec()), phase);
+    return;
+  }
+  maybe_crash();
+  double seconds = ops / ops_per_sec();
+  if (fault->has_compute_faults()) {
+    const double now = process_->now().to_seconds();
+    FaultStats& fs = world_.fault_stats();
+    const double multiplier =
+        fault->compute_multiplier(rank_, now, compute_draw_++);
+    if (multiplier != 1.0) {
+      seconds *= multiplier;
+      ++fs.slowdown_charges;
+    }
+    seconds += fault->take_due_stalls(rank_, now, stall_cursor_, &fs.stalls);
+  }
+  if (crash_at_seconds_ &&
+      process_->now().to_seconds() + seconds >= *crash_at_seconds_) {
+    // The charge crosses the crash instant: truncate it there and stop.
+    const double until = *crash_at_seconds_ - process_->now().to_seconds();
+    if (until > 0.0) advance_traced(des::SimTime::seconds(until), phase);
+    throw RankCrashed{};
+  }
+  advance_traced(des::SimTime::seconds(seconds), phase);
 }
 
 double SimCommunicator::time_seconds() const {

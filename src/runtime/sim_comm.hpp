@@ -10,6 +10,9 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "des/kernel.hpp"
@@ -18,6 +21,7 @@
 #include "net/channel.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/communicator.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/mailbox.hpp"
 
 namespace specomp::runtime {
@@ -39,6 +43,10 @@ struct SimConfig {
   /// -DSPECOMP_HB_CHECK=ON; otherwise the hooks are compiled out and this
   /// flag warns and is ignored.
   bool hb_check = false;
+  /// Optional fault-injection plan consulted on every send/deliver/compute
+  /// (see runtime/fault.hpp).  nullptr = fault-free; the hot paths then pay
+  /// a single pointer test.
+  FaultPlanPtr fault;
 };
 
 struct SimResult {
@@ -49,6 +57,8 @@ struct SimResult {
   net::ChannelStats channel_stats;
   des::KernelStats kernel_stats;
   des::Trace trace;
+  /// Fault-injection bookkeeping; all zeros when SimConfig::fault is unset.
+  FaultStats fault_stats;
 };
 
 /// Runs `body` as an SPMD program, one simulated rank per cluster machine.
@@ -70,10 +80,13 @@ class SimCommunicator final : public Communicator {
   bool try_recv(net::Rank src, int tag, net::Message& out) override;
   net::Message recv(net::Rank src, int tag) override;
   net::Message recv_any(int tag) override;
+  bool recv_timeout(net::Rank src, int tag, double timeout_seconds,
+                    net::Message& out) override;
   void barrier() override;
   void compute(double ops, Phase phase = Phase::Compute) override;
   double time_seconds() const override;
   void mark_speculative(bool on) override { speculative_ = on; }
+  void mark_degraded(bool on) override { degraded_ = on; }
 
  private:
   friend class SimWorld;
@@ -81,6 +94,14 @@ class SimCommunicator final : public Communicator {
   void advance_traced(des::SimTime dt, Phase phase);
   des::SpanKind span_kind_for(Phase phase) const;
   net::Message recv_blocking(bool any, net::Rank src, int tag);
+  /// Bookkeeping common to every successful receive (hb check, phase timer,
+  /// metrics, Wait trace span).
+  void note_received(const net::Message& msg, des::SimTime wait_begin);
+  /// Mailbox insertion at delivery time; applies the duplicate filter when
+  /// the fault plan wants it.
+  void deliver_from_wire(net::Message&& msg);
+  /// Raises RankCrashed once local time reaches this rank's crash time.
+  void maybe_crash();
 
   SimWorld& world_;
   net::Rank rank_;
@@ -88,6 +109,18 @@ class SimCommunicator final : public Communicator {
   SimMailbox mailbox_;
   std::uint64_t next_seq_ = 0;
   bool speculative_ = false;
+  bool degraded_ = false;
+
+  // Fault-plan state (all idle when the plan is unset).
+  std::optional<double> crash_at_seconds_;
+  std::uint64_t compute_draw_ = 0;   ///< per-charge draw for stochastic slowdowns
+  std::size_t stall_cursor_ = 0;     ///< scan state for FaultPlan::take_due_stalls
+  /// (src, tag, seq) of first copies of duplicated messages already
+  /// delivered; the second copy erases its entry and is suppressed.
+  std::vector<std::tuple<net::Rank, int, std::uint64_t>> pending_dups_;
+  /// Per-(dst, tag) in-order delivery floors; entries exist only for
+  /// streams a fault delayed (see send()).
+  std::unordered_map<std::uint64_t, des::SimTime> delivery_floor_;
 };
 
 }  // namespace detail

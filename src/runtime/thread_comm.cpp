@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 
 #include "runtime/hb_check.hpp"
 #include "runtime/mailbox.hpp"
@@ -26,8 +27,7 @@ class ThreadWorld;
 
 class ThreadCommunicator final : public Communicator {
  public:
-  ThreadCommunicator(ThreadWorld& world, net::Rank rank)
-      : world_(world), rank_(rank) {}
+  ThreadCommunicator(ThreadWorld& world, net::Rank rank);
 
   net::Rank rank() const override { return rank_; }
   int size() const override;
@@ -36,15 +36,28 @@ class ThreadCommunicator final : public Communicator {
   bool try_recv(net::Rank src, int tag, net::Message& out) override;
   net::Message recv(net::Rank src, int tag) override;
   net::Message recv_any(int tag) override;
+  bool recv_timeout(net::Rank src, int tag, double timeout_seconds,
+                    net::Message& out) override;
   void barrier() override;
   void compute(double ops, Phase phase) override;
   double time_seconds() const override;
 
  private:
   friend class ThreadWorld;
+
+  /// Raises RankCrashed once wall time since run start reaches this rank's
+  /// scripted crash time.
+  void maybe_crash() const;
+
   ThreadWorld& world_;
   net::Rank rank_;
   std::uint64_t next_seq_ = 0;
+  std::optional<double> crash_at_seconds_;
+  std::uint64_t compute_draw_ = 0;
+  std::size_t stall_cursor_ = 0;
+  /// Per-(dst, tag) in-order delivery floors; entries exist only for
+  /// streams a fault delayed (see send()).
+  std::unordered_map<std::uint64_t, Clock::time_point> delivery_floor_;
 };
 
 class ThreadWorld {
@@ -55,9 +68,13 @@ class ThreadWorld {
         rng_(config.seed),
         start_(Clock::now()) {
     SPEC_EXPECTS(num_ranks_ > 0);
+    const DeliveryOrder order =
+        config_.fault != nullptr && config_.fault->arrival_order_delivery()
+            ? DeliveryOrder::ByArrival
+            : DeliveryOrder::BySeq;
     mailboxes_.reserve(config.cluster.size());
     for (int r = 0; r < num_ranks_; ++r)
-      mailboxes_.push_back(std::make_unique<TimedMailbox>(num_ranks_));
+      mailboxes_.push_back(std::make_unique<TimedMailbox>(num_ranks_, order));
 #if SPECOMP_HB_CHECK_ENABLED
     if (config_.hb_check) hb_ = std::make_unique<HbChecker>(num_ranks_);
 #endif
@@ -70,6 +87,17 @@ class ThreadWorld {
   const ThreadConfig& config() const noexcept { return config_; }
   int num_ranks() const noexcept { return num_ranks_; }
   Clock::time_point start() const noexcept { return start_; }
+  const FaultPlan* fault() const noexcept { return config_.fault.get(); }
+
+  /// Folds a per-thread stats delta into the run totals.
+  void merge_fault(const FaultStats& delta) {
+    const std::lock_guard<std::mutex> lock(fault_mutex_);
+    fault_stats_.merge(delta);
+  }
+  FaultStats fault_stats() {
+    const std::lock_guard<std::mutex> lock(fault_mutex_);
+    return fault_stats_;
+  }
   TimedMailbox& mailbox(net::Rank rank) {
     SPEC_EXPECTS(rank >= 0 && rank < num_ranks_);
     return *mailboxes_[static_cast<std::size_t>(rank)];
@@ -111,6 +139,8 @@ class ThreadWorld {
   std::mutex rng_mutex_;
   support::Xoshiro256 rng_;
   Clock::time_point start_;
+  std::mutex fault_mutex_;
+  FaultStats fault_stats_;  // guarded by fault_mutex_
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;
@@ -119,6 +149,17 @@ class ThreadWorld {
   std::unique_ptr<HbChecker> hb_;
 #endif
 };
+
+ThreadCommunicator::ThreadCommunicator(ThreadWorld& world, net::Rank rank)
+    : world_(world), rank_(rank) {
+  if (const FaultPlan* fault = world.fault())
+    crash_at_seconds_ = fault->crash_time(rank);
+}
+
+void ThreadCommunicator::maybe_crash() const {
+  if (crash_at_seconds_ && time_seconds() >= *crash_at_seconds_)
+    throw RankCrashed{};
+}
 
 int ThreadCommunicator::size() const { return world_.num_ranks(); }
 
@@ -130,6 +171,7 @@ void ThreadCommunicator::send(net::Rank dst, int tag,
                               std::vector<std::byte> payload) {
   SPEC_EXPECTS(dst >= 0 && dst < world_.num_ranks());
   SPEC_EXPECTS(dst != rank_);
+  maybe_crash();
   net::Message msg;
   msg.src = rank_;
   msg.dst = dst;
@@ -137,13 +179,60 @@ void ThreadCommunicator::send(net::Rank dst, int tag,
   msg.seq = next_seq_++;
   msg.payload = std::move(payload);
   record_send(msg.payload.size());
+
+  FaultPlan::SendOutcome outcome;
+  const FaultPlan* fault = world_.fault();
+  if (fault != nullptr && fault->has_link_faults()) {
+    outcome = fault->on_send(rank_, dst, tag, msg.seq);
+    FaultStats delta;
+    delta.injected_drops = outcome.drops;
+    delta.retransmits = outcome.retransmits;
+    if (outcome.duplicated) delta.injected_duplicates = 1;
+    if (outcome.reordered) delta.injected_reorders = 1;
+    if (outcome.lost) delta.messages_lost = 1;
+    if (outcome.duplicated && fault->recovery()) {
+      // On this backend the dedup filter is modelled at the sender's NIC:
+      // the second copy is created and immediately suppressed, so only one
+      // copy ever travels (the simulated backend delivers both and filters
+      // at the receiver — same observable behaviour, fewer shared-state
+      // races here).
+      delta.duplicates_suppressed = 1;
+    }
+    world_.merge_fault(delta);
+    if (outcome.lost) return;  // recovery off: the message vanishes
+  }
+
+  auto deliver_at =
+      Clock::now() + world_.sample_latency() +
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(outcome.extra_delay_seconds));
+  if (fault != nullptr && fault->recovery() && fault->has_link_faults()) {
+    // Head-of-line blocking of an in-order reliable transport (mirrors the
+    // simulated backend): a fault-delayed message floors every later send
+    // on its (dst, tag) stream so injected faults never invert send order.
+    const std::uint64_t stream =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 32 |
+        static_cast<std::uint32_t>(tag);
+    if (const auto it = delivery_floor_.find(stream);
+        it != delivery_floor_.end() && deliver_at < it->second) {
+      deliver_at = it->second;
+    }
+    if (outcome.extra_delay_seconds > 0.0) delivery_floor_[stream] = deliver_at;
+  }
 #if SPECOMP_HB_CHECK_ENABLED
   // Recorded before the message becomes receivable: once deliver() runs the
   // receiver may consume it concurrently, and its check must find the send.
   if (HbChecker* hb = world_.hb()) hb->on_send(rank_, dst, tag, msg.seq);
 #endif
-  world_.mailbox(dst).deliver(std::move(msg),
-                              Clock::now() + world_.sample_latency());
+  if (outcome.duplicated && !fault->recovery()) {
+    net::Message copy = msg;
+    world_.mailbox(dst).deliver(
+        std::move(copy),
+        deliver_at + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             fault->config().duplicate_offset_seconds)));
+  }
+  world_.mailbox(dst).deliver(std::move(msg), deliver_at);
 }
 
 bool ThreadCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
@@ -160,7 +249,20 @@ bool ThreadCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
 
 net::Message ThreadCommunicator::recv(net::Rank src, int tag) {
   const auto begin = Clock::now();
-  net::Message msg = world_.mailbox(rank_).take_blocking(src, tag);
+  net::Message msg;
+  if (crash_at_seconds_) {
+    // Bound the wait by the crash instant so a blocked rank still dies on
+    // schedule instead of waiting out a message that may never come.
+    const auto crash_deadline =
+        world_.start() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(*crash_at_seconds_));
+    auto taken =
+        world_.mailbox(rank_).take_blocking_until(src, tag, crash_deadline);
+    if (!taken) throw RankCrashed{};
+    msg = std::move(*taken);
+  } else {
+    msg = world_.mailbox(rank_).take_blocking(src, tag);
+  }
 #if SPECOMP_HB_CHECK_ENABLED
   if (HbChecker* hb = world_.hb())
     hb->on_receive(rank_, msg.src, msg.tag, msg.seq);
@@ -170,6 +272,31 @@ net::Message ThreadCommunicator::recv(net::Rank src, int tag) {
   record_receive(msg.payload.size());
   record_recv_wait(waited.to_seconds());
   return msg;
+}
+
+bool ThreadCommunicator::recv_timeout(net::Rank src, int tag,
+                                      double timeout_seconds,
+                                      net::Message& out) {
+  if (timeout_seconds < 0.0) {
+    out = recv(src, tag);
+    return true;
+  }
+  const auto begin = Clock::now();
+  const auto deadline =
+      begin + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(timeout_seconds));
+  auto taken = world_.mailbox(rank_).take_blocking_until(src, tag, deadline);
+  const des::SimTime waited = elapsed_since(begin);
+  timer_.add(Phase::Communicate, waited);
+  record_recv_wait(waited.to_seconds());
+  if (!taken) return false;
+  out = std::move(*taken);
+#if SPECOMP_HB_CHECK_ENABLED
+  if (HbChecker* hb = world_.hb())
+    hb->on_receive(rank_, out.src, out.tag, out.seq);
+#endif
+  record_receive(out.payload.size());
+  return true;
 }
 
 net::Message ThreadCommunicator::recv_any(int tag) {
@@ -190,11 +317,38 @@ void ThreadCommunicator::barrier() { world_.barrier_arrive(); }
 
 void ThreadCommunicator::compute(double ops, Phase phase) {
   SPEC_EXPECTS(ops >= 0.0);
+  const FaultPlan* fault = world_.fault();
   const auto begin = Clock::now();
-  if (world_.config().time_scale > 0.0) {
-    const double seconds = ops / ops_per_sec() * world_.config().time_scale;
-    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  double seconds = world_.config().time_scale > 0.0
+                       ? ops / ops_per_sec() * world_.config().time_scale
+                       : 0.0;
+  if (fault != nullptr) {
+    maybe_crash();
+    if (fault->has_compute_faults()) {
+      const double now = time_seconds();
+      FaultStats delta;
+      const double multiplier =
+          fault->compute_multiplier(rank_, now, compute_draw_++);
+      if (multiplier != 1.0) {
+        seconds *= multiplier;
+        delta.slowdown_charges = 1;
+      }
+      seconds += fault->take_due_stalls(rank_, now, stall_cursor_,
+                                        &delta.stalls);
+      if (delta.slowdown_charges != 0 || delta.stalls != 0)
+        world_.merge_fault(delta);
+    }
+    if (crash_at_seconds_ && time_seconds() + seconds >= *crash_at_seconds_) {
+      // Sleep only up to the crash instant, then fail-stop.
+      const double until = *crash_at_seconds_ - time_seconds();
+      if (until > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(until));
+      timer_.add(phase, elapsed_since(begin));
+      throw RankCrashed{};
+    }
   }
+  if (seconds > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
   timer_.add(phase, elapsed_since(begin));
 }
 
@@ -225,8 +379,15 @@ ThreadResult run_threaded(const ThreadConfig& config, const RankBody& body) {
   std::vector<double> finish(static_cast<std::size_t>(p), 0.0);
   for (int r = 0; r < p; ++r) {
     ThreadCommunicator* comm = comms[static_cast<std::size_t>(r)].get();
-    threads.emplace_back([comm, &body, &finish, r] {
-      body(*comm);
+    threads.emplace_back([comm, &body, &finish, &world, r] {
+      try {
+        body(*comm);
+      } catch (const RankCrashed&) {
+        // Fail-stop: the rank simply stops executing; peers run on.
+        FaultStats delta;
+        delta.crashed_ranks = 1;
+        world.merge_fault(delta);
+      }
       finish[static_cast<std::size_t>(r)] = comm->time_seconds();
     });
   }
@@ -236,6 +397,8 @@ ThreadResult run_threaded(const ThreadConfig& config, const RankBody& body) {
   result.makespan_seconds = *std::max_element(finish.begin(), finish.end());
   result.timers.reserve(comms.size());
   for (const auto& comm : comms) result.timers.push_back(comm->timer());
+  result.fault_stats = world.fault_stats();
+  if (config.fault != nullptr) result.fault_stats.publish();
   return result;
 }
 

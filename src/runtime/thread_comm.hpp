@@ -20,6 +20,7 @@
 #include "net/message.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/communicator.hpp"
+#include "runtime/fault.hpp"
 
 namespace specomp::runtime {
 
@@ -38,11 +39,19 @@ struct ThreadConfig {
   /// -DSPECOMP_HB_CHECK=ON; otherwise the hooks are compiled out and this
   /// flag warns and is ignored.
   bool hb_check = false;
+  /// Optional fault-injection plan (see runtime/fault.hpp).  Fault decisions
+  /// hash the same message identities as the simulated backend, so the same
+  /// plan + seed faults the same messages on both.  Times in the plan
+  /// (slow/stall/crash windows) are interpreted as wall seconds since the
+  /// run started on this backend.
+  FaultPlanPtr fault;
 };
 
 struct ThreadResult {
   double makespan_seconds = 0.0;
   std::vector<PhaseTimer> timers;
+  /// Fault-injection bookkeeping; all zeros when ThreadConfig::fault is unset.
+  FaultStats fault_stats;
 };
 
 /// Runs `body` on one real thread per cluster machine and joins them all.

@@ -33,6 +33,8 @@ SpecEngine::Metrics::Metrics()
           obs::metrics().counter("engine.incremental_corrections")),
       rollbacks(obs::metrics().counter("engine.rollbacks")),
       replayed_iterations(obs::metrics().counter("engine.replayed_iterations")),
+      degraded_entries(obs::metrics().counter("degraded.entries")),
+      degraded_iterations(obs::metrics().counter("degraded.iterations")),
       forward_window(obs::metrics().gauge("engine.forward_window")),
       check_error(obs::metrics().histogram("engine.check_error", 0.0, 0.1, 50)) {
 }
@@ -53,6 +55,11 @@ SpecEngine::SpecEngine(runtime::Communicator& comm, SyncIterativeApp& app,
                 : config_.forward_window;
   if (fw_now_ > 0 || config_.window_policy != nullptr)
     SPEC_EXPECTS(config_.speculator != nullptr);
+  if (config_.graceful_degradation) {
+    SPEC_EXPECTS(config_.speculator != nullptr);
+    SPEC_EXPECTS(config_.max_degraded_window >= 1);
+    SPEC_EXPECTS(config_.overdue_after_seconds > 0.0);
+  }
   SPEC_EXPECTS(initial_blocks.size() == static_cast<std::size_t>(size_));
 
   const std::size_t bw =
@@ -90,11 +97,24 @@ SpecStats SpecEngine::run(long iterations) {
 
     // 2. Enforce the forward window *before* sending, so the block we send
     //    reflects every correction from iterations <= t - FW (with FW = 1
-    //    this is exactly Fig. 3's check-before-next-send ordering).
+    //    this is exactly Fig. 3's check-before-next-send ordering).  When
+    //    graceful degradation is armed, an overdue peer lets the engine
+    //    speculate past FW instead of blocking (see enforce_window).
     for (int k = 0; k < size_; ++k) {
       if (k == rank_) continue;
-      while (outstanding_[static_cast<std::size_t>(k)] >= std::max(fw_now_, 1)) {
-        await_oldest(k);
+      enforce_window(k);
+    }
+    if (degraded_) {
+      // Leave degraded mode once no peer saturates FW any more.
+      bool saturated = false;
+      for (int k = 0; k < size_ && !saturated; ++k) {
+        if (k == rank_) continue;
+        saturated =
+            outstanding_[static_cast<std::size_t>(k)] >= std::max(fw_now_, 1);
+      }
+      if (!saturated) {
+        degraded_ = false;
+        comm_.mark_degraded(false);
       }
     }
 
@@ -155,6 +175,10 @@ SpecStats SpecEngine::run(long iterations) {
     next_compute_ = t + 1;
     ++stats_.iterations;
     metrics_.iterations.inc();
+    if (degraded_) {
+      ++stats_.degraded_iterations;
+      metrics_.degraded_iterations.inc();
+    }
     comm_.timer().bump_iterations();
 
     while (!window_.empty() && window_.front().unresolved == 0)
@@ -164,15 +188,47 @@ SpecStats SpecEngine::run(long iterations) {
   }
 
   // Resolve every outstanding speculation so all ranks finish verified and
-  // no messages are left undelivered.
+  // no messages are left undelivered — this is also where a degraded run
+  // reconciles: every late block still passes the check/correct/rollback
+  // machinery before the final state is declared.
   for (int k = 0; k < size_; ++k) {
     if (k == rank_) continue;
     while (outstanding_[static_cast<std::size_t>(k)] > 0) await_oldest(k);
   }
   while (!window_.empty() && window_.front().unresolved == 0)
     window_.pop_front();
+  if (degraded_) {
+    degraded_ = false;
+    comm_.mark_degraded(false);
+  }
   SPEC_ENSURES(window_.empty());
   return stats_;
+}
+
+void SpecEngine::enforce_window(int k) {
+  const int fw_limit = std::max(fw_now_, 1);
+  while (outstanding_[static_cast<std::size_t>(k)] >= fw_limit) {
+    const bool at_hard_cap =
+        outstanding_[static_cast<std::size_t>(k)] >=
+        std::max(config_.max_degraded_window, fw_limit);
+    if (!can_degrade() || at_hard_cap) {
+      // Strict FW semantics (or the degraded hard cap): block.
+      await_oldest(k);
+      continue;
+    }
+    // Give the overdue peer one timeout's grace; if its block arrives the
+    // window drains normally.
+    if (await_oldest(k, config_.overdue_after_seconds)) continue;
+    // Overdue: degrade — this iteration speculates past FW for peer k and
+    // the compute span is flagged so traces show the mode explicitly.
+    if (!degraded_) {
+      degraded_ = true;
+      ++stats_.degraded_entries;
+      metrics_.degraded_entries.inc();
+      comm_.mark_degraded(true);
+    }
+    return;
+  }
 }
 
 void SpecEngine::drain_pending() {
@@ -209,7 +265,7 @@ void SpecEngine::drain_pending() {
   }
 }
 
-void SpecEngine::await_oldest(int k) {
+bool SpecEngine::await_oldest(int k, double timeout_seconds) {
   long s = -1;
   for (const auto& rec : window_) {
     const auto& slot = rec.peers[static_cast<std::size_t>(k)];
@@ -220,10 +276,16 @@ void SpecEngine::await_oldest(int k) {
   }
   SPEC_ASSERT(s >= 0);
   // Zero-copy: resolve_receipt reads the values straight out of the payload.
-  net::Message msg = comm_.recv(k, tag_for(s));
+  net::Message msg;
+  if (timeout_seconds < 0.0) {
+    msg = comm_.recv(k, tag_for(s));
+  } else if (!comm_.recv_timeout(k, tag_for(s), timeout_seconds, msg)) {
+    return false;
+  }
   net::ByteReader reader(msg.payload);
   resolve_receipt(k, s, reader.read_span<double>());
   net::BufferPool::local().release(std::move(msg.payload));
+  return true;
 }
 
 void SpecEngine::resolve_receipt(int k, long s, std::span<const double> actual) {

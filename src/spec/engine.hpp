@@ -37,6 +37,14 @@
 // initial state to every processor ("Read x_i(0) ∀i"), so the engine primes
 // each peer history with the initial blocks and message exchange starts at
 // iteration 1.
+//
+// Graceful degradation (EngineConfig::graceful_degradation, DESIGN.md §9):
+// under fault injection a peer's block can be overdue far beyond anything
+// FW was sized for.  Instead of blocking, the engine may keep computing on
+// speculated values past FW — explicitly flagged as *degraded* in stats and
+// traces — up to a hard per-peer cap, and reconciles when the late block
+// finally arrives via the same check/correct/rollback machinery.  θ keeps
+// bounding the accepted error; only the wait policy changes.
 #pragma once
 
 #include <deque>
@@ -74,6 +82,26 @@ struct EngineConfig {
   bool allow_incremental_correction = true;
   /// Base message tag; iteration t uses tag base + t.
   int tag_base = 1000;
+  /// Graceful degradation under faults (DESIGN.md §9): when the oldest
+  /// outstanding speculation for a peer stays unresolved for more than
+  /// overdue_after_seconds, the engine keeps computing on speculated values
+  /// past FW — explicitly flagged as degraded — instead of blocking, up to
+  /// max_degraded_window outstanding speculations per peer (a hard cap;
+  /// beyond it the engine blocks, bounding both memory and the worst-case
+  /// rollback depth).  Late arrivals reconcile through the normal
+  /// check/correct/rollback machinery, so θ still bounds the accepted
+  /// error.  Requires a speculator and an effective window >= 1 (the FW = 0
+  /// baseline keeps its strict blocking semantics).  Off by default, and
+  /// deliberately NOT implied by arming a fault plan: the receive-timeout
+  /// timers perturb event schedules even when no fault fires, which would
+  /// break the zero-fault byte-identity contract.
+  bool graceful_degradation = false;
+  /// How long the oldest speculation for a peer may stay unresolved before
+  /// the engine degrades rather than blocks.  Local seconds (virtual on the
+  /// simulated backend); pick it a little above the healthy round-trip.
+  double overdue_after_seconds = 1.0;
+  /// Hard cap on outstanding speculations per peer while degraded.
+  int max_degraded_window = 8;
 };
 
 class SpecEngine {
@@ -118,8 +146,17 @@ class SpecEngine {
   /// history, checks the speculation it answers, corrects/replays on
   /// failure.  `t_next` is the iteration about to be computed.
   void resolve_receipt(int k, long s, std::span<const double> actual);
-  /// Blocks until the oldest outstanding speculation for peer k resolves.
-  void await_oldest(int k);
+  /// Waits until the oldest outstanding speculation for peer k resolves.
+  /// A negative timeout blocks; otherwise gives up after `timeout_seconds`
+  /// and returns false with the speculation still outstanding.
+  bool await_oldest(int k, double timeout_seconds = -1.0);
+  /// Degradation is armed and usable (speculator present).
+  bool can_degrade() const noexcept {
+    return config_.graceful_degradation && config_.speculator != nullptr;
+  }
+  /// Enforces the forward window for peer k before an iteration's send,
+  /// entering degraded mode when the peer is overdue.
+  void enforce_window(int k);
   /// Restores the checkpoint of iteration `s` and replays through the most
   /// recently computed iteration.
   void rollback_and_replay(long s);
@@ -139,6 +176,7 @@ class SpecEngine {
   std::deque<IterationRecord> window_;      // records with unresolved > 0 kept
   long next_compute_ = 0;                   // iteration about to be computed
   int fw_now_ = 0;                          // window in effect
+  bool degraded_ = false;                   // currently past FW on a peer
   // Snapshots for per-iteration window-policy feedback.
   double last_wait_seconds_ = 0.0;
   double last_compute_seconds_ = 0.0;
@@ -157,6 +195,8 @@ class SpecEngine {
     obs::CounterRef incremental_corrections;
     obs::CounterRef rollbacks;
     obs::CounterRef replayed_iterations;
+    obs::CounterRef degraded_entries;
+    obs::CounterRef degraded_iterations;
     obs::GaugeRef forward_window;
     obs::HistogramRef check_error;
   };

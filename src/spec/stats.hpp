@@ -26,6 +26,11 @@ struct SpecStats {
   std::uint64_t incremental_corrections = 0;
   /// Iterations recomputed by rollback + replay.
   std::uint64_t replayed_iterations = 0;
+  /// Times the engine entered degraded mode (a peer overdue past FW; see
+  /// EngineConfig::graceful_degradation).
+  std::uint64_t degraded_entries = 0;
+  /// Iterations computed while degraded.
+  std::uint64_t degraded_iterations = 0;
   /// Distribution of observed speculation errors (eq. 11 values).
   support::OnlineStats error;
   /// Largest forward window in effect during the run (interesting when an
@@ -46,6 +51,8 @@ struct SpecStats {
     failures += other.failures;
     incremental_corrections += other.incremental_corrections;
     replayed_iterations += other.replayed_iterations;
+    degraded_entries += other.degraded_entries;
+    degraded_iterations += other.degraded_iterations;
     error.merge(other.error);
     max_window_used = std::max(max_window_used, other.max_window_used);
   }
