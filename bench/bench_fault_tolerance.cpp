@@ -174,6 +174,7 @@ int main(int argc, char** argv) {
 
   obs::Json report = obs::Json::object();
   report.set("schema", "specomp.bench_fault.v1");
+  report.set("schema_version", 1);
   report.set("grid", [&] {
     obs::Json g = obs::Json::object();
     g.set("p", p);

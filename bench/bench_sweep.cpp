@@ -136,6 +136,7 @@ int main(int argc, char** argv) {
 
   obs::Json report = obs::Json::object();
   report.set("schema", "specomp.bench_sweep.v1");
+  report.set("schema_version", 1);
   report.set("grid", [&] {
     obs::Json g = obs::Json::object();
     g.set("bench", "fig8_nbody_speedup");

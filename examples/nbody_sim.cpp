@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
                 : init == "disk" ? InitKind::RotatingDisk
                                  : InitKind::Plummer;
   s.sim.record_trace = artifacts.wants_trace();
+  // Distribution capture is cheap (fixed-size sketches) but only useful to
+  // a report reader, so it follows --report-out.
+  s.sim.record_dists = artifacts.wants_report();
   // Happens-before detector (needs a -DSPECOMP_HB_CHECK=ON build; see
   // runtime/hb_check.hpp).  Aborts with a causal-path diagnostic on any
   // unsynchronized delivery instead of silently corrupting the measurement.
@@ -162,6 +165,7 @@ int main(int argc, char** argv) {
   report.fill_phases(run.sim.timers, s.iterations);
   report.fill_spec(run.spec);
   report.fill_channel(run.sim.channel_stats);
+  report.fill_dists(run.sim.dists);
   report.extra.set("bodies", obs::Json(s.body.n));
   report.extra.set("force_kernel",
                    obs::Json(std::string(kernels::force_kernel_name(

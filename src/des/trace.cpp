@@ -37,6 +37,36 @@ const char* span_name(SpanKind kind) noexcept {
   return "?";
 }
 
+const char* causal_name(CausalKind kind) noexcept {
+  switch (kind) {
+    case CausalKind::Send: return "send";
+    case CausalKind::Recv: return "recv";
+    case CausalKind::Speculate: return "speculate";
+    case CausalKind::Check: return "check";
+    case CausalKind::CheckFail: return "check-fail";
+    case CausalKind::Correct: return "correct";
+    case CausalKind::Rollback: return "rollback";
+    case CausalKind::DegradedEnter: return "degraded-enter";
+    case CausalKind::DegradedExit: return "degraded-exit";
+    case CausalKind::Stall: return "stall";
+  }
+  return "?";
+}
+
+bool causal_from_name(std::string_view name, CausalKind& out) noexcept {
+  for (const CausalKind k :
+       {CausalKind::Send, CausalKind::Recv, CausalKind::Speculate,
+        CausalKind::Check, CausalKind::CheckFail, CausalKind::Correct,
+        CausalKind::Rollback, CausalKind::DegradedEnter,
+        CausalKind::DegradedExit, CausalKind::Stall}) {
+    if (name == causal_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 void Trace::add_span(std::uint64_t lane, SpanKind kind, SimTime begin,
                      SimTime end, std::string label) {
   SPEC_EXPECTS(end >= begin);
@@ -47,6 +77,11 @@ void Trace::add_span(std::uint64_t lane, SpanKind kind, SimTime begin,
 void Trace::add_event(std::uint64_t lane, SimTime at, std::string label) {
   events_.push_back(PointEvent{lane, at, std::move(label)});
   horizon_ = std::max(horizon_, at);
+}
+
+void Trace::add_causal(CausalEvent event) {
+  horizon_ = std::max(horizon_, event.at);
+  causal_.push_back(event);
 }
 
 std::string Trace::gantt(std::size_t lanes, std::size_t columns) const {
@@ -95,6 +130,7 @@ std::string Trace::gantt(std::size_t lanes, std::size_t columns) const {
 void Trace::clear() {
   spans_.clear();
   events_.clear();
+  causal_.clear();
   horizon_ = SimTime::zero();
 }
 

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "des/time.hpp"
@@ -45,14 +46,60 @@ struct PointEvent {
   std::string label;
 };
 
+/// Causal edge endpoints and speculation-lifecycle markers (trace schema v2).
+///
+/// Unlike spans (which render occupancy), causal events carry enough identity
+/// to reconstruct *edges* between lanes: a Send on lane i and a Recv on lane
+/// j with the same (src, tag, seq) form one message edge, and the
+/// Speculate → Check → CheckFail → Correct/Rollback kinds chain a single
+/// speculation's lifecycle through (peer, iteration).  tools/spectrace
+/// rebuilds rollback-cascade graphs and delay-propagation fronts from them.
+enum class CausalKind : std::uint8_t {
+  Send,           ///< lane=sender, peer=dst: message handed to the wire
+  Recv,           ///< lane=receiver, peer=src: message consumed; t2=delivery
+  Speculate,      ///< lane, peer, iter: block speculated for peer
+  Check,          ///< lane, peer, iter: speculation checked against actual
+  CheckFail,      ///< lane, peer, iter: check exceeded θ
+  Correct,        ///< lane, peer, iter: incremental correction applied
+  Rollback,       ///< lane, peer, iter: checkpoint restored at iteration
+  DegradedEnter,  ///< lane: engine entered degraded mode (past FW)
+  DegradedExit,   ///< lane: engine left degraded mode
+  Stall,          ///< lane: injected one-off processor delay fired (t2=length)
+};
+
+const char* causal_name(CausalKind kind) noexcept;
+/// Inverse of causal_name(); false when `name` matches no kind.
+bool causal_from_name(std::string_view name, CausalKind& out) noexcept;
+
+struct CausalEvent {
+  std::uint64_t lane = 0;
+  CausalKind kind = CausalKind::Send;
+  SimTime at;
+  /// Other endpoint: dst for Send, src for Recv, peer rank for the
+  /// speculation-lifecycle kinds; -1 when not applicable.
+  std::int32_t peer = -1;
+  /// Message tag (Send/Recv); 0 otherwise.
+  std::int32_t tag = 0;
+  /// Sender sequence number — (src, tag, seq) identifies one message, so a
+  /// Recv matches exactly one Send.  0 for non-message kinds.
+  std::uint64_t seq = 0;
+  /// Engine iteration for the speculation-lifecycle kinds; -1 otherwise.
+  std::int64_t iter = -1;
+  /// Second timestamp: delivery time for Recv (at - t2 = mailbox queueing,
+  /// t2 - send.at = transit), stall length for Stall; zero otherwise.
+  SimTime t2;
+};
+
 class Trace {
  public:
   void add_span(std::uint64_t lane, SpanKind kind, SimTime begin, SimTime end,
                 std::string label = {});
   void add_event(std::uint64_t lane, SimTime at, std::string label);
+  void add_causal(CausalEvent event);
 
   const std::vector<Span>& spans() const noexcept { return spans_; }
   const std::vector<PointEvent>& events() const noexcept { return events_; }
+  const std::vector<CausalEvent>& causal() const noexcept { return causal_; }
   SimTime horizon() const noexcept { return horizon_; }
 
   /// Renders an ASCII Gantt chart with `columns` characters covering
@@ -64,6 +111,7 @@ class Trace {
  private:
   std::vector<Span> spans_;
   std::vector<PointEvent> events_;
+  std::vector<CausalEvent> causal_;
   SimTime horizon_ = SimTime::zero();
 };
 

@@ -1,8 +1,8 @@
 #include "obs/artifacts.hpp"
 
 #include <cstdio>
-#include <fstream>
 
+#include "obs/atomic_file.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_export.hpp"
 
@@ -59,9 +59,9 @@ bool ArtifactWriter::flush() {
   bool ok = true;
   auto write_text = [&](const std::string& path, const std::string& text,
                         const char* what) {
-    std::ofstream os(path);
-    if (os) os << text;
-    if (!os) {
+    // Staged + renamed, so a crash-injected run never leaves a truncated
+    // artifact for CI to harvest.
+    if (!atomic_write_file(path, text)) {
       std::fprintf(stderr, "error: failed to write %s to '%s'\n", what,
                    path.c_str());
       ok = false;
@@ -93,6 +93,7 @@ bool ArtifactWriter::flush() {
     } else {
       doc = Json::object();
       doc.set("schema", kBenchReportSchema);
+      doc.set("schema_version", kBenchReportVersion);
       doc.set("binary", binary_);
       Json tables = Json::object();
       for (const auto& [name, table] : tables_)

@@ -31,6 +31,10 @@
 namespace specomp::obs {
 
 inline constexpr const char* kBenchReportSchema = "specomp.bench_report.v1";
+/// Emitted as "schema_version" next to every envelope's "schema" so tooling
+/// can reject artifacts from a future incompatible writer with a clear
+/// error instead of a missing-key crash.
+inline constexpr int kBenchReportVersion = 1;
 
 /// Converts a Table to {"headers": [...], "rows": [[...], ...]} (cells stay
 /// strings, exactly as printed, so the JSON matches the ASCII output).

@@ -1,0 +1,27 @@
+#include "obs/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace specomp::obs {
+
+bool atomic_write_file(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    os.write(content.data(), static_cast<std::streamsize>(content.size()));
+    os.flush();
+    if (!os) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace specomp::obs

@@ -1,0 +1,21 @@
+// Crash-safe artifact writes.
+//
+// The fault layer (PR 5) can kill a run mid-flight (crash:R@T), and CI
+// harvests whatever artifacts exist afterwards.  A plain ofstream left a
+// truncated JSON/JSONL file in that window; every artifact writer in the
+// repo instead stages the full content in a sibling temp file and renames
+// it into place, so a reader either sees the previous complete artifact or
+// the new complete one — never a prefix.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace specomp::obs {
+
+/// Writes `content` to `path` atomically: stage into `path + ".tmp"`, then
+/// std::rename over the destination.  Returns false (and removes the temp
+/// file) if any step fails.
+bool atomic_write_file(const std::string& path, std::string_view content);
+
+}  // namespace specomp::obs

@@ -1,0 +1,135 @@
+#include "obs/dist_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace specomp::obs {
+
+double DistSketch::marker_prob(std::size_t i) noexcept {
+  // 0, q1/2, q1, (q1+q2)/2, q2, (q2+q3)/2, q3, (1+q3)/2, 1 — the marker
+  // ladder of the multi-quantile P² extension.
+  if (i == 0) return 0.0;
+  if (i + 1 >= kMarkers) return 1.0;
+  const std::size_t j = (i - 1) / 2;  // index into kQuantiles
+  if (i % 2 == 0) return kQuantiles[j];
+  const double lo = j == 0 ? 0.0 : kQuantiles[j - 1];
+  const double hi = i + 2 >= kMarkers ? 1.0 : kQuantiles[j];
+  // Odd markers sit midway between their neighbours' probabilities.
+  return i + 2 >= kMarkers ? (kQuantiles[kNumQuantiles - 1] + 1.0) / 2.0
+                           : (lo + hi) / 2.0;
+}
+
+double DistSketch::parabolic(std::size_t i, double s) const noexcept {
+  const double np = pos_[i - 1];
+  const double n = pos_[i];
+  const double nn = pos_[i + 1];
+  const double hp = height_[i - 1];
+  const double h = height_[i];
+  const double hn = height_[i + 1];
+  return h + s / (nn - np) *
+                 ((n - np + s) * (hn - h) / (nn - n) +
+                  (nn - n - s) * (h - hp) / (n - np));
+}
+
+void DistSketch::observe(double x) noexcept {
+  sum_ += x;
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  if (count_ < kMarkers) {
+    // Warm-up: buffer the first kMarkers samples verbatim.
+    height_[count_] = x;
+    ++count_;
+    if (count_ == kMarkers) {
+      std::sort(height_.begin(), height_.end());
+      for (std::size_t i = 0; i < kMarkers; ++i) {
+        pos_[i] = static_cast<double>(i + 1);
+        desired_[i] =
+            1.0 + static_cast<double>(kMarkers - 1) * marker_prob(i);
+      }
+    }
+    return;
+  }
+
+  ++count_;
+  // Locate the cell [height_[k], height_[k+1]) containing x, widening the
+  // extreme markers when x falls outside the observed range.
+  std::size_t k = 0;
+  if (x < height_[0]) {
+    height_[0] = x;
+  } else if (x >= height_[kMarkers - 1]) {
+    height_[kMarkers - 1] = x;
+    k = kMarkers - 2;
+  } else {
+    while (k + 2 < kMarkers && x >= height_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < kMarkers; ++i) pos_[i] += 1.0;
+  const double n1 = static_cast<double>(count_ - 1);
+  for (std::size_t i = 0; i < kMarkers; ++i)
+    desired_[i] = 1.0 + n1 * marker_prob(i);
+
+  // Nudge interior markers toward their desired positions, preferring the
+  // parabolic prediction and falling back to linear when it would invert
+  // the height ordering.
+  for (std::size_t i = 1; i + 1 < kMarkers; ++i) {
+    const double d = desired_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double s = d >= 0.0 ? 1.0 : -1.0;
+      const double candidate = parabolic(i, s);
+      if (height_[i - 1] < candidate && candidate < height_[i + 1]) {
+        height_[i] = candidate;
+      } else {
+        const std::size_t j = s > 0.0 ? i + 1 : i - 1;
+        height_[i] += s * (height_[j] - height_[i]) / (pos_[j] - pos_[i]);
+      }
+      pos_[i] += s;
+    }
+  }
+}
+
+double DistSketch::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (count_ <= kMarkers) {
+    // Exact regime: interpolate the order statistics of the warm-up buffer.
+    std::array<double, kMarkers> v = height_;
+    std::sort(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(count_));
+    const double idx = q * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, static_cast<std::size_t>(count_) - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+  }
+  // Marker regime: interpolate heights by actual marker positions.
+  const double target = 1.0 + q * static_cast<double>(count_ - 1);
+  if (target <= pos_[0]) return height_[0];
+  for (std::size_t i = 0; i + 1 < kMarkers; ++i) {
+    if (target <= pos_[i + 1]) {
+      const double span = pos_[i + 1] - pos_[i];
+      if (span <= 0.0) return height_[i + 1];
+      const double frac = (target - pos_[i]) / span;
+      return height_[i] + frac * (height_[i + 1] - height_[i]);
+    }
+  }
+  return height_[kMarkers - 1];
+}
+
+Json DistSketch::to_json() const {
+  Json j = Json::object();
+  j.set("count", count_);
+  j.set("mean", mean());
+  j.set("min", min());
+  j.set("max", max());
+  j.set("p50", quantile(0.5));
+  j.set("p90", quantile(0.9));
+  j.set("p99", quantile(0.99));
+  return j;
+}
+
+}  // namespace specomp::obs

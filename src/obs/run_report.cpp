@@ -1,7 +1,8 @@
 #include "obs/run_report.hpp"
 
-#include <fstream>
 #include <stdexcept>
+
+#include "obs/atomic_file.hpp"
 
 namespace specomp::obs {
 
@@ -51,6 +52,23 @@ void RunReport::fill_cluster(const runtime::Cluster& cluster) {
     cluster_ops_per_sec.push_back(machine.ops_per_sec);
 }
 
+void RunReport::fill_dists(const std::vector<NamedDist>& dists) {
+  distributions.clear();
+  distributions.reserve(dists.size());
+  for (const auto& nd : dists) {
+    DistRow row;
+    row.name = nd.name;
+    row.count = nd.sketch.count();
+    row.mean = nd.sketch.mean();
+    row.min = nd.sketch.min();
+    row.max = nd.sketch.max();
+    row.p50 = nd.sketch.quantile(0.5);
+    row.p90 = nd.sketch.quantile(0.9);
+    row.p99 = nd.sketch.quantile(0.99);
+    distributions.push_back(std::move(row));
+  }
+}
+
 double RunReport::phase_mean_per_iteration(const std::string& phase) const {
   for (const auto& row : phases)
     if (row.phase == phase) return row.mean_per_iteration_seconds;
@@ -60,6 +78,7 @@ double RunReport::phase_mean_per_iteration(const std::string& phase) const {
 Json RunReport::to_json() const {
   Json doc = Json::object();
   doc.set("schema", kRunReportSchema);
+  doc.set("schema_version", kRunReportVersion);
   doc.set("binary", binary);
 
   Json config = Json::object();
@@ -107,13 +126,45 @@ Json RunReport::to_json() const {
   comm.set("mean_delay_seconds", mean_delay_seconds);
   doc.set("network", std::move(comm));
 
+  if (!distributions.empty()) {
+    Json rows = Json::array();
+    for (const auto& d : distributions) {
+      Json r = Json::object();
+      r.set("name", d.name);
+      r.set("count", d.count);
+      r.set("mean", d.mean);
+      r.set("min", d.min);
+      r.set("max", d.max);
+      r.set("p50", d.p50);
+      r.set("p90", d.p90);
+      r.set("p99", d.p99);
+      rows.push_back(std::move(r));
+    }
+    doc.set("distributions", std::move(rows));
+  }
+
   if (!extra.is_null()) doc.set("extra", extra);
   return doc;
 }
 
 RunReport RunReport::from_json(const Json& doc) {
-  if (!doc.is_object() || doc.at("schema").as_string() != kRunReportSchema)
-    throw std::runtime_error("RunReport: unrecognised schema");
+  if (!doc.is_object()) throw std::runtime_error("RunReport: not an object");
+  const std::string schema = doc.at("schema").as_string();
+  // v1 documents predate schema_version and the distributions section; they
+  // load fine.  Anything else is a different or newer artifact — fail with
+  // the identity so the caller knows what it actually read.
+  if (schema != kRunReportSchema && schema != kRunReportSchemaV1) {
+    throw std::runtime_error(
+        "RunReport: incompatible schema \"" + schema + "\" (this build reads " +
+        kRunReportSchema + " and " + kRunReportSchemaV1 + ")");
+  }
+  if (const Json* v = doc.find("schema_version");
+      v != nullptr && v->as_int() > kRunReportVersion) {
+    throw std::runtime_error(
+        "RunReport: document schema_version " + std::to_string(v->as_int()) +
+        " is newer than this build supports (" +
+        std::to_string(kRunReportVersion) + ")");
+  }
   RunReport report;
   report.binary = doc.at("binary").as_string();
 
@@ -156,15 +207,27 @@ RunReport RunReport::from_json(const Json& doc) {
   report.bytes = comm.at("bytes").as_uint();
   report.mean_delay_seconds = comm.at("mean_delay_seconds").as_double();
 
+  if (const Json* dists = doc.find("distributions")) {
+    for (const Json& r : dists->as_array()) {
+      DistRow row;
+      row.name = r.at("name").as_string();
+      row.count = r.at("count").as_uint();
+      row.mean = r.at("mean").as_double();
+      row.min = r.at("min").as_double();
+      row.max = r.at("max").as_double();
+      row.p50 = r.at("p50").as_double();
+      row.p90 = r.at("p90").as_double();
+      row.p99 = r.at("p99").as_double();
+      report.distributions.push_back(std::move(row));
+    }
+  }
+
   if (const Json* extra = doc.find("extra")) report.extra = *extra;
   return report;
 }
 
 bool RunReport::write(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) return false;
-  os << to_json().dump(2) << "\n";
-  return static_cast<bool>(os);
+  return atomic_write_file(path, to_json().dump(2) + "\n");
 }
 
 }  // namespace specomp::obs

@@ -1,6 +1,6 @@
 // Structured end-of-run report.
 //
-// One JSON document per run with a stable schema ("specomp.run_report.v1"),
+// One JSON document per run with a stable schema ("specomp.run_report.v2"),
 // collecting everything the paper's evaluation tables need: the run
 // configuration (FW, θ, speculator, cluster shape), the Table-2 phase
 // breakdown from runtime::PhaseTimer, the Table-3 speculation outcome from
@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/channel.hpp"
+#include "obs/dist_sketch.hpp"
 #include "obs/json.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/phase_timer.hpp"
@@ -22,7 +23,12 @@
 
 namespace specomp::obs {
 
-inline constexpr const char* kRunReportSchema = "specomp.run_report.v1";
+inline constexpr const char* kRunReportSchema = "specomp.run_report.v2";
+/// Current document version; from_json() also accepts v1 documents (which
+/// simply lack the "distributions" section) and rejects anything newer or
+/// unknown with a clear error.
+inline constexpr int kRunReportVersion = 2;
+inline constexpr const char* kRunReportSchemaV1 = "specomp.run_report.v1";
 
 struct RunReport {
   // ---- Identity & configuration ----
@@ -63,6 +69,23 @@ struct RunReport {
   std::uint64_t bytes = 0;
   double mean_delay_seconds = 0.0;
 
+  // ---- Observed distributions (schema v2) ----
+  /// One summary row per DistSketch the run recorded (per-link delivery
+  /// delay, per-rank service time); empty when SimConfig::record_dists was
+  /// off.  Rows carry the sketch's summary statistics, not its internal
+  /// marker state, so documents round-trip exactly.
+  struct DistRow {
+    std::string name;              // e.g. "link_delay.0->2", "service.rank1"
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<DistRow> distributions;
+
   /// Free-form per-binary additions, emitted under "extra".
   Json extra;
 
@@ -75,6 +98,8 @@ struct RunReport {
   void fill_spec(const spec::SpecStats& stats);
   void fill_channel(const net::ChannelStats& stats);
   void fill_cluster(const runtime::Cluster& cluster);
+  /// Summarises SimResult::dists into `distributions`.
+  void fill_dists(const std::vector<NamedDist>& dists);
 
   /// Mean per-iteration seconds recorded for `phase` (0 when absent).
   double phase_mean_per_iteration(const std::string& phase) const;

@@ -1,9 +1,10 @@
 #include "obs/trace_export.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <ostream>
+#include <sstream>
 
+#include "obs/atomic_file.hpp"
 #include "obs/json.hpp"
 
 namespace specomp::obs {
@@ -23,6 +24,10 @@ std::size_t inferred_lanes(const des::Trace& trace) {
     max_lane = std::max(max_lane, ev.lane);
     any = true;
   }
+  for (const auto& ce : trace.causal()) {
+    max_lane = std::max(max_lane, ce.lane);
+    any = true;
+  }
   return any ? static_cast<std::size_t>(max_lane) + 1 : 0;
 }
 
@@ -33,6 +38,7 @@ void export_trace(const des::Trace& trace, TraceSink& sink, std::size_t lanes) {
   sink.begin(lanes);
   for (const auto& span : trace.spans()) sink.span(span);
   for (const auto& ev : trace.events()) sink.event(ev);
+  for (const auto& ce : trace.causal()) sink.causal(ce);
   sink.end();
 }
 
@@ -78,7 +84,26 @@ void ChromeTraceSink::event(const des::PointEvent& event) {
       << json_number(ts) << ",\"pid\":0,\"tid\":" << event.lane << "}";
 }
 
+void ChromeTraceSink::causal(const des::CausalEvent& event) {
+  comma();
+  const double ts = event.at.to_seconds() * kMicrosPerSecond;
+  os_ << "{\"name\":" << json_quote(des::causal_name(event.kind))
+      << ",\"cat\":\"causal\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+      << json_number(ts) << ",\"pid\":0,\"tid\":" << event.lane
+      << ",\"args\":{\"peer\":" << event.peer << ",\"seq\":" << event.seq
+      << ",\"iter\":" << event.iter << "}}";
+}
+
 void ChromeTraceSink::end() { os_ << "\n]}\n"; }
+
+void JsonlTraceSink::begin(std::size_t lanes) {
+  Json line = Json::object();
+  line.set("type", "meta");
+  line.set("schema", kTraceSchema);
+  line.set("schema_version", kTraceSchemaVersion);
+  line.set("lanes", lanes);
+  os_ << line.dump() << "\n";
+}
 
 void JsonlTraceSink::span(const des::Span& span) {
   Json line = Json::object();
@@ -100,6 +125,23 @@ void JsonlTraceSink::event(const des::PointEvent& event) {
   os_ << line.dump() << "\n";
 }
 
+void JsonlTraceSink::causal(const des::CausalEvent& event) {
+  Json line = Json::object();
+  line.set("type", "causal");
+  line.set("kind", des::causal_name(event.kind));
+  line.set("lane", event.lane);
+  line.set("at_s", event.at.to_seconds());
+  if (event.peer >= 0) line.set("peer", static_cast<std::int64_t>(event.peer));
+  if (event.kind == des::CausalKind::Send ||
+      event.kind == des::CausalKind::Recv) {
+    line.set("tag", static_cast<std::int64_t>(event.tag));
+    line.set("seq", event.seq);
+  }
+  if (event.iter >= 0) line.set("iter", event.iter);
+  if (event.t2 > des::SimTime::zero()) line.set("t2_s", event.t2.to_seconds());
+  os_ << line.dump() << "\n";
+}
+
 void write_chrome_trace(const des::Trace& trace, std::ostream& os,
                         std::size_t lanes) {
   ChromeTraceSink sink(os);
@@ -114,14 +156,13 @@ void write_trace_jsonl(const des::Trace& trace, std::ostream& os,
 
 bool write_trace_file(const des::Trace& trace, const std::string& path,
                       std::size_t lanes) {
-  std::ofstream os(path);
-  if (!os) return false;
+  std::ostringstream os;
   if (path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0) {
     write_trace_jsonl(trace, os, lanes);
   } else {
     write_chrome_trace(trace, os, lanes);
   }
-  return static_cast<bool>(os);
+  return atomic_write_file(path, os.str());
 }
 
 }  // namespace specomp::obs

@@ -8,8 +8,12 @@
 //    loadable in Perfetto / chrome://tracing.  Ranks appear as named tracks
 //    ("rank 0", "rank 1", ...) via thread_name metadata; timestamps are in
 //    microseconds of simulated time.
-//  * JsonlTraceSink — one JSON object per line (type "span" or "event"),
-//    convenient for jq/python scripting.
+//  * JsonlTraceSink — one JSON object per line, convenient for jq/python
+//    scripting and the tools/spectrace analyzer.  Line types: a "meta"
+//    header (schema "specomp.trace.v2", lane count), then "span", "event"
+//    and "causal" records.  Causal records carry the edge identity fields
+//    of des::CausalEvent, so send→recv pairs and speculation lifecycles
+//    can be re-linked offline.
 //
 // export_trace() replays a Trace through any sink; write_* helpers bundle
 // the common sink-to-stream cases.
@@ -31,6 +35,9 @@ class TraceSink {
   virtual void begin(std::size_t lanes) { (void)lanes; }
   virtual void span(const des::Span& span) = 0;
   virtual void event(const des::PointEvent& event) = 0;
+  /// Causal edge endpoint (schema v2); default no-op keeps custom sinks
+  /// that only care about occupancy working unchanged.
+  virtual void causal(const des::CausalEvent& event) { (void)event; }
   /// Called once after the last span/event.
   virtual void end() {}
 };
@@ -49,6 +56,7 @@ class ChromeTraceSink final : public TraceSink {
   void begin(std::size_t lanes) override;
   void span(const des::Span& span) override;
   void event(const des::PointEvent& event) override;
+  void causal(const des::CausalEvent& event) override;
   void end() override;
 
  private:
@@ -63,12 +71,19 @@ class JsonlTraceSink final : public TraceSink {
  public:
   explicit JsonlTraceSink(std::ostream& os) : os_(os) {}
 
+  void begin(std::size_t lanes) override;
   void span(const des::Span& span) override;
   void event(const des::PointEvent& event) override;
+  void causal(const des::CausalEvent& event) override;
 
  private:
   std::ostream& os_;
 };
+
+/// JSONL trace schema identifier written by JsonlTraceSink's meta line and
+/// checked by tools/spectrace.
+inline constexpr const char* kTraceSchema = "specomp.trace.v2";
+inline constexpr int kTraceSchemaVersion = 2;
 
 /// Writes `trace` as Chrome trace-event JSON.
 void write_chrome_trace(const des::Trace& trace, std::ostream& os,

@@ -18,10 +18,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
 
+#include "des/trace.hpp"
 #include "net/buffer_pool.hpp"
 #include "net/message.hpp"
 #include "net/serialization.hpp"
@@ -76,6 +78,17 @@ class Communicator {
   /// mode (a peer is overdue and the rank is speculating past FW).  Only
   /// affects trace rendering; see spec/engine.hpp.
   virtual void mark_degraded(bool on) { (void)on; }
+  /// Records a causal trace event at this rank's current local time — the
+  /// engine's speculation-lifecycle instrumentation (speculate / check /
+  /// check-fail / correct / rollback keyed by (peer, iter)).  Default:
+  /// discard, so backends without a trace recorder — and runs with tracing
+  /// off — pay nothing (same guard discipline as hb_check).
+  virtual void trace_causal(des::CausalKind kind, int peer = -1,
+                            std::int64_t iter = -1) {
+    (void)kind;
+    (void)peer;
+    (void)iter;
+  }
 
   PhaseTimer& timer() noexcept { return timer_; }
   const PhaseTimer& timer() const noexcept { return timer_; }

@@ -36,6 +36,11 @@ class SimWorld {
 #if SPECOMP_HB_CHECK_ENABLED
     if (config_.hb_check) hb_ = std::make_unique<HbChecker>(num_ranks_);
 #endif
+    if (config_.record_dists) {
+      const auto p = static_cast<std::size_t>(num_ranks_);
+      link_delay_.resize(p * p);
+      service_.resize(p);
+    }
   }
 
   SimResult run(const RankBody& body) {
@@ -88,6 +93,24 @@ class SimWorld {
     result.channel_stats = channel_->stats();
     result.trace = std::move(trace_);
     result.fault_stats = fault_stats_;
+    if (config_.record_dists) {
+      for (int s = 0; s < num_ranks_; ++s) {
+        for (int d = 0; d < num_ranks_; ++d) {
+          const obs::DistSketch& sk =
+              link_delay_[static_cast<std::size_t>(s * num_ranks_ + d)];
+          if (sk.count() == 0) continue;
+          result.dists.push_back(obs::NamedDist{
+              "link_delay." + std::to_string(s) + "->" + std::to_string(d),
+              sk});
+        }
+      }
+      for (int r = 0; r < num_ranks_; ++r) {
+        const obs::DistSketch& sk = service_[static_cast<std::size_t>(r)];
+        if (sk.count() == 0) continue;
+        result.dists.push_back(
+            obs::NamedDist{"service.rank" + std::to_string(r), sk});
+      }
+    }
     // Mirror into the metrics registry only when a plan was armed, so
     // fault-free runs do not grow "fault.*" zero rows in run reports.
     if (config_.fault != nullptr) result.fault_stats.publish();
@@ -120,6 +143,15 @@ class SimWorld {
     });
   }
   des::Trace* trace() noexcept { return config_.record_trace ? &trace_ : nullptr; }
+  /// nullptr unless record_dists — the same single-test guard as trace().
+  obs::DistSketch* link_delay_sketch(net::Rank src, net::Rank dst) noexcept {
+    if (link_delay_.empty()) return nullptr;
+    return &link_delay_[static_cast<std::size_t>(src * num_ranks_ + dst)];
+  }
+  obs::DistSketch* service_sketch(net::Rank rank) noexcept {
+    if (service_.empty()) return nullptr;
+    return &service_[static_cast<std::size_t>(rank)];
+  }
   SimCommunicator& comm(net::Rank rank) {
     SPEC_EXPECTS(rank >= 0 && rank < num_ranks_);
     return *comms_[static_cast<std::size_t>(rank)];
@@ -184,6 +216,8 @@ class SimWorld {
   std::vector<std::uint32_t> inflight_free_;
   des::Trace trace_;
   FaultStats fault_stats_;
+  std::vector<obs::DistSketch> link_delay_;  // p×p, row-major by src
+  std::vector<obs::DistSketch> service_;     // per rank
   int barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
 #if SPECOMP_HB_CHECK_ENABLED
@@ -229,6 +263,37 @@ void SimCommunicator::advance_traced(des::SimTime dt, Phase phase) {
     trace->add_span(static_cast<std::uint64_t>(rank_), span_kind_for(phase),
                     begin, process_->now());
   }
+  if (phase == Phase::Compute) {
+    if (obs::DistSketch* dist = world_.service_sketch(rank_))
+      dist->observe(dt.to_seconds());
+  }
+}
+
+void SimCommunicator::mark_degraded(bool on) {
+  if (on != degraded_) {
+    if (des::Trace* trace = world_.trace()) {
+      des::CausalEvent ev;
+      ev.lane = static_cast<std::uint64_t>(rank_);
+      ev.kind = on ? des::CausalKind::DegradedEnter
+                   : des::CausalKind::DegradedExit;
+      ev.at = process_->now();
+      trace->add_causal(ev);
+    }
+  }
+  degraded_ = on;
+}
+
+void SimCommunicator::trace_causal(des::CausalKind kind, int peer,
+                                   std::int64_t iter) {
+  if (des::Trace* trace = world_.trace()) {
+    des::CausalEvent ev;
+    ev.lane = static_cast<std::uint64_t>(rank_);
+    ev.kind = kind;
+    ev.at = process_->now();
+    ev.peer = peer;
+    ev.iter = iter;
+    trace->add_causal(ev);
+  }
 }
 
 void SimCommunicator::send(net::Rank dst, int tag,
@@ -247,6 +312,19 @@ void SimCommunicator::send(net::Rank dst, int tag,
   msg.sent_at = process_->now();
   msg.payload = std::move(payload);
   record_send(msg.payload.size());
+  if (des::Trace* trace = world_.trace()) {
+    // Emitted before the fault plan is consulted: a Send edge with no
+    // matching Recv is exactly how a lost (norecovery) message shows up in
+    // the causal record.
+    des::CausalEvent ev;
+    ev.lane = static_cast<std::uint64_t>(rank_);
+    ev.kind = des::CausalKind::Send;
+    ev.at = msg.sent_at;
+    ev.peer = dst;
+    ev.tag = tag;
+    ev.seq = msg.seq;
+    trace->add_causal(ev);
+  }
 
   FaultPlan::SendOutcome outcome;
   const FaultPlan* fault = world_.fault();
@@ -330,8 +408,26 @@ void SimCommunicator::deliver_from_wire(net::Message&& msg) {
     }
     pending_dups_.push_back(key);
   }
+  // Sampled at delivery (not consumption), so a message the application
+  // never matches still contributes its link delay.
+  if (obs::DistSketch* dist = world_.link_delay_sketch(msg.src, rank_))
+    dist->observe((msg.delivered_at - msg.sent_at).to_seconds());
   mailbox_.push(std::move(msg));
   process_->wake();
+}
+
+void SimCommunicator::note_recv_causal(const net::Message& msg) {
+  if (des::Trace* trace = world_.trace()) {
+    des::CausalEvent ev;
+    ev.lane = static_cast<std::uint64_t>(rank_);
+    ev.kind = des::CausalKind::Recv;
+    ev.at = process_->now();
+    ev.peer = msg.src;
+    ev.tag = msg.tag;
+    ev.seq = msg.seq;
+    ev.t2 = msg.delivered_at;
+    trace->add_causal(ev);
+  }
 }
 
 void SimCommunicator::maybe_crash() {
@@ -355,6 +451,7 @@ bool SimCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
   }
 #endif
   record_receive(out.payload.size());
+  note_recv_causal(out);
   return true;
 }
 
@@ -371,6 +468,7 @@ void SimCommunicator::note_received(const net::Message& msg,
   timer_.add(Phase::Communicate, waited);
   record_receive(msg.payload.size());
   record_recv_wait(waited.to_seconds());
+  note_recv_causal(msg);
   if (des::Trace* trace = world_.trace();
       trace != nullptr && waited > des::SimTime::zero()) {
     trace->add_span(static_cast<std::uint64_t>(rank_), des::SpanKind::Wait,
@@ -460,7 +558,21 @@ void SimCommunicator::compute(double ops, Phase phase) {
       seconds *= multiplier;
       ++fs.slowdown_charges;
     }
-    seconds += fault->take_due_stalls(rank_, now, stall_cursor_, &fs.stalls);
+    const double stall =
+        fault->take_due_stalls(rank_, now, stall_cursor_, &fs.stalls);
+    if (stall > 0.0) {
+      seconds += stall;
+      if (des::Trace* trace = world_.trace()) {
+        // Anchors spectrace's delay-propagation analysis: the injected
+        // one-off delay fires here, at this rank, for t2 seconds.
+        des::CausalEvent ev;
+        ev.lane = static_cast<std::uint64_t>(rank_);
+        ev.kind = des::CausalKind::Stall;
+        ev.at = process_->now();
+        ev.t2 = des::SimTime::seconds(stall);
+        trace->add_causal(ev);
+      }
+    }
   }
   if (crash_at_seconds_ &&
       process_->now().to_seconds() + seconds >= *crash_at_seconds_) {

@@ -19,6 +19,7 @@
 #include "des/process.hpp"
 #include "des/trace.hpp"
 #include "net/channel.hpp"
+#include "obs/dist_sketch.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/communicator.hpp"
 #include "runtime/fault.hpp"
@@ -38,6 +39,10 @@ struct SimConfig {
   /// Record a Gantt trace of all rank activity (costs memory; used by the
   /// timeline example).
   bool record_trace = false;
+  /// Record per-link delivery-delay and per-rank service-time distributions
+  /// into SimResult::dists via obs::DistSketch (fixed memory: p² + p
+  /// sketches; the sample paths pay one pointer test when off).
+  bool record_dists = false;
   /// Run the vector-clock happens-before detector on every send/recv/barrier
   /// (see runtime/hb_check.hpp).  Only honoured when the build enables
   /// -DSPECOMP_HB_CHECK=ON; otherwise the hooks are compiled out and this
@@ -59,6 +64,9 @@ struct SimResult {
   des::Trace trace;
   /// Fault-injection bookkeeping; all zeros when SimConfig::fault is unset.
   FaultStats fault_stats;
+  /// Observed distributions ("link_delay.S->D", "service.rankR"); empty
+  /// unless SimConfig::record_dists.  Links with no traffic are omitted.
+  std::vector<obs::NamedDist> dists;
 };
 
 /// Runs `body` as an SPMD program, one simulated rank per cluster machine.
@@ -86,7 +94,9 @@ class SimCommunicator final : public Communicator {
   void compute(double ops, Phase phase = Phase::Compute) override;
   double time_seconds() const override;
   void mark_speculative(bool on) override { speculative_ = on; }
-  void mark_degraded(bool on) override { degraded_ = on; }
+  void mark_degraded(bool on) override;
+  void trace_causal(des::CausalKind kind, int peer = -1,
+                    std::int64_t iter = -1) override;
 
  private:
   friend class SimWorld;
@@ -97,6 +107,9 @@ class SimCommunicator final : public Communicator {
   /// Bookkeeping common to every successful receive (hb check, phase timer,
   /// metrics, Wait trace span).
   void note_received(const net::Message& msg, des::SimTime wait_begin);
+  /// Causal Recv edge endpoint + link-delay distribution sample; shared by
+  /// every receive path.
+  void note_recv_causal(const net::Message& msg);
   /// Mailbox insertion at delivery time; applies the duplicate filter when
   /// the fault plan wants it.
   void deliver_from_wire(net::Message&& msg);

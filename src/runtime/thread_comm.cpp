@@ -41,6 +41,8 @@ class ThreadCommunicator final : public Communicator {
   void barrier() override;
   void compute(double ops, Phase phase) override;
   double time_seconds() const override;
+  void trace_causal(des::CausalKind kind, int peer = -1,
+                    std::int64_t iter = -1) override;
 
  private:
   friend class ThreadWorld;
@@ -48,6 +50,9 @@ class ThreadCommunicator final : public Communicator {
   /// Raises RankCrashed once wall time since run start reaches this rank's
   /// scripted crash time.
   void maybe_crash() const;
+  /// Causal Send/Recv edge endpoint; no-op unless the world records a trace.
+  void note_msg_causal(des::CausalKind kind, net::Rank peer, int tag,
+                       std::uint64_t seq);
 
   ThreadWorld& world_;
   net::Rank rank_;
@@ -103,6 +108,15 @@ class ThreadWorld {
     return *mailboxes_[static_cast<std::size_t>(rank)];
   }
 
+  bool tracing() const noexcept { return config_.record_trace; }
+  /// Serialises appends from all rank threads; callers pre-check tracing()
+  /// so untraced runs never touch the mutex.
+  void add_causal(const des::CausalEvent& event) {
+    const std::lock_guard<std::mutex> lock(trace_mutex_);
+    trace_.add_causal(event);
+  }
+  des::Trace take_trace() { return std::move(trace_); }
+
   Clock::duration sample_latency() {
     const std::lock_guard<std::mutex> lock(rng_mutex_);
     const double seconds =
@@ -141,6 +155,8 @@ class ThreadWorld {
   Clock::time_point start_;
   std::mutex fault_mutex_;
   FaultStats fault_stats_;  // guarded by fault_mutex_
+  std::mutex trace_mutex_;
+  des::Trace trace_;  // guarded by trace_mutex_
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;
@@ -161,6 +177,31 @@ void ThreadCommunicator::maybe_crash() const {
     throw RankCrashed{};
 }
 
+void ThreadCommunicator::note_msg_causal(des::CausalKind kind, net::Rank peer,
+                                         int tag, std::uint64_t seq) {
+  if (!world_.tracing()) return;
+  des::CausalEvent ev;
+  ev.lane = static_cast<std::uint64_t>(rank_);
+  ev.kind = kind;
+  ev.at = des::SimTime::seconds(time_seconds());
+  ev.peer = peer;
+  ev.tag = tag;
+  ev.seq = seq;
+  world_.add_causal(ev);
+}
+
+void ThreadCommunicator::trace_causal(des::CausalKind kind, int peer,
+                                      std::int64_t iter) {
+  if (!world_.tracing()) return;
+  des::CausalEvent ev;
+  ev.lane = static_cast<std::uint64_t>(rank_);
+  ev.kind = kind;
+  ev.at = des::SimTime::seconds(time_seconds());
+  ev.peer = peer;
+  ev.iter = iter;
+  world_.add_causal(ev);
+}
+
 int ThreadCommunicator::size() const { return world_.num_ranks(); }
 
 double ThreadCommunicator::ops_per_sec() const {
@@ -179,6 +220,7 @@ void ThreadCommunicator::send(net::Rank dst, int tag,
   msg.seq = next_seq_++;
   msg.payload = std::move(payload);
   record_send(msg.payload.size());
+  note_msg_causal(des::CausalKind::Send, dst, tag, msg.seq);
 
   FaultPlan::SendOutcome outcome;
   const FaultPlan* fault = world_.fault();
@@ -244,6 +286,7 @@ bool ThreadCommunicator::try_recv(net::Rank src, int tag, net::Message& out) {
     hb->on_receive(rank_, out.src, out.tag, out.seq);
 #endif
   record_receive(out.payload.size());
+  note_msg_causal(des::CausalKind::Recv, out.src, out.tag, out.seq);
   return true;
 }
 
@@ -271,6 +314,7 @@ net::Message ThreadCommunicator::recv(net::Rank src, int tag) {
   timer_.add(Phase::Communicate, waited);
   record_receive(msg.payload.size());
   record_recv_wait(waited.to_seconds());
+  note_msg_causal(des::CausalKind::Recv, msg.src, msg.tag, msg.seq);
   return msg;
 }
 
@@ -296,6 +340,7 @@ bool ThreadCommunicator::recv_timeout(net::Rank src, int tag,
     hb->on_receive(rank_, out.src, out.tag, out.seq);
 #endif
   record_receive(out.payload.size());
+  note_msg_causal(des::CausalKind::Recv, out.src, out.tag, out.seq);
   return true;
 }
 
@@ -310,6 +355,7 @@ net::Message ThreadCommunicator::recv_any(int tag) {
   timer_.add(Phase::Communicate, waited);
   record_receive(msg.payload.size());
   record_recv_wait(waited.to_seconds());
+  note_msg_causal(des::CausalKind::Recv, msg.src, msg.tag, msg.seq);
   return msg;
 }
 
@@ -399,6 +445,7 @@ ThreadResult run_threaded(const ThreadConfig& config, const RankBody& body) {
   for (const auto& comm : comms) result.timers.push_back(comm->timer());
   result.fault_stats = world.fault_stats();
   if (config.fault != nullptr) result.fault_stats.publish();
+  if (config.record_trace) result.trace = world.take_trace();
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <vector>
 
+#include "des/trace.hpp"
 #include "net/message.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/communicator.hpp"
@@ -45,6 +46,11 @@ struct ThreadConfig {
   /// (slow/stall/crash windows) are interpreted as wall seconds since the
   /// run started on this backend.
   FaultPlanPtr fault;
+  /// Record causal trace events (send/recv edges, speculation lifecycle)
+  /// into ThreadResult::trace.  Timestamps are wall seconds since run start,
+  /// so causal *structure* is comparable with the simulated backend even
+  /// though timings are hardware-dependent.
+  bool record_trace = false;
 };
 
 struct ThreadResult {
@@ -52,6 +58,9 @@ struct ThreadResult {
   std::vector<PhaseTimer> timers;
   /// Fault-injection bookkeeping; all zeros when ThreadConfig::fault is unset.
   FaultStats fault_stats;
+  /// Causal events only (no spans on this backend); empty unless
+  /// ThreadConfig::record_trace.
+  des::Trace trace;
 };
 
 /// Runs `body` on one real thread per cluster machine and joins them all.

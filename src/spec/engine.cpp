@@ -297,6 +297,7 @@ void SpecEngine::resolve_receipt(int k, long s, std::span<const double> actual) 
   SPEC_ASSERT(slot.speculated && !slot.resolved);
 
   charge_check(k);
+  comm_.trace_causal(des::CausalKind::Check, k, s);
   ++stats_.checks;
   metrics_.checks.inc();
   const double err = app_.speculation_error(k, slot.block, actual);
@@ -311,6 +312,7 @@ void SpecEngine::resolve_receipt(int k, long s, std::span<const double> actual) 
   --outstanding_[static_cast<std::size_t>(k)];
 
   if (!acceptable) {
+    comm_.trace_causal(des::CausalKind::CheckFail, k, s);
     ++stats_.failures;
     metrics_.failures.inc();
     bool corrected = false;
@@ -318,11 +320,15 @@ void SpecEngine::resolve_receipt(int k, long s, std::span<const double> actual) 
       corrected = app_.correct_last_step(k, actual);
       if (corrected) {
         comm_.compute(app_.correct_ops(k), Phase::Correct);
+        comm_.trace_causal(des::CausalKind::Correct, k, s);
         ++stats_.incremental_corrections;
         metrics_.incremental_corrections.inc();
       }
     }
-    if (!corrected) rollback_and_replay(s);
+    if (!corrected) {
+      comm_.trace_causal(des::CausalKind::Rollback, k, s);
+      rollback_and_replay(s);
+    }
   }
 
   while (!window_.empty() && window_.front().unresolved == 0)
@@ -381,6 +387,7 @@ std::vector<double> SpecEngine::speculate_block(int k, long t) {
   comm_.compute(config_.speculator->ops_per_variable() *
                     static_cast<double>(block.size()),
                 Phase::Speculate);
+  comm_.trace_causal(des::CausalKind::Speculate, k, t);
   return block;
 }
 

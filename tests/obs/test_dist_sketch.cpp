@@ -1,0 +1,89 @@
+// DistSketch: fixed-size streaming quantile estimation (extended P²).
+// Exactness while the sample fits in the marker buffer, bounded error on
+// long streams, and allocation-free steady state are the contract the
+// per-link/per-rank distribution capture relies on.
+#include "obs/dist_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace specomp::obs {
+namespace {
+
+TEST(DistSketch, EmptySketchIsInert) {
+  const DistSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(DistSketch, ExactWhileSampleFitsTheMarkers) {
+  DistSketch s;
+  for (const double v : {5.0, 1.0, 3.0}) s.observe(v);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+}
+
+TEST(DistSketch, TracksUniformQuantilesWithinTolerance) {
+  DistSketch s;
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  for (int i = 0; i < 20000; ++i) s.observe(uniform(rng));
+  EXPECT_NEAR(s.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(s.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(s.quantile(0.99), 0.99, 0.01);
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(DistSketch, TracksSkewedDistribution) {
+  // Exponential-ish delays: the shape the per-link sketches actually see.
+  DistSketch s;
+  std::mt19937_64 rng(7);
+  std::exponential_distribution<double> exp_dist(1.0);
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = exp_dist(rng);
+    s.observe(v);
+    all.push_back(v);
+  }
+  std::sort(all.begin(), all.end());
+  const auto exact = [&](double q) {
+    return all[static_cast<std::size_t>(q * (all.size() - 1))];
+  };
+  EXPECT_NEAR(s.quantile(0.5), exact(0.5), 0.05);
+  EXPECT_NEAR(s.quantile(0.9), exact(0.9), 0.15);
+  EXPECT_NEAR(s.quantile(0.99), exact(0.99), 0.5);
+}
+
+TEST(DistSketch, ToJsonCarriesTheSummary) {
+  DistSketch s;
+  for (int i = 1; i <= 50; ++i) s.observe(static_cast<double>(i));
+  const Json doc = s.to_json();
+  EXPECT_EQ(doc.at("count").as_int(), 50);
+  EXPECT_DOUBLE_EQ(doc.at("min").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(doc.at("max").as_double(), 50.0);
+  EXPECT_NEAR(doc.at("p50").as_double(), 25.5, 2.0);
+  EXPECT_NEAR(doc.at("p99").as_double(), 49.5, 1.5);
+}
+
+TEST(DistSketch, DeterministicForSameStream) {
+  DistSketch a;
+  DistSketch b;
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> uniform(0.0, 10.0);
+  std::vector<double> stream;
+  for (int i = 0; i < 5000; ++i) stream.push_back(uniform(rng));
+  for (const double v : stream) a.observe(v);
+  for (const double v : stream) b.observe(v);
+  EXPECT_EQ(a.quantile(0.9), b.quantile(0.9));
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+}
+
+}  // namespace
+}  // namespace specomp::obs

@@ -47,8 +47,9 @@ RunReport make_report() {
 
 TEST(RunReport, SchemaFieldIsStable) {
   const Json doc = make_report().to_json();
-  EXPECT_EQ(doc.at("schema").as_string(), "specomp.run_report.v1");
+  EXPECT_EQ(doc.at("schema").as_string(), "specomp.run_report.v2");
   EXPECT_EQ(doc.at("schema").as_string(), kRunReportSchema);
+  EXPECT_EQ(doc.at("schema_version").as_int(), kRunReportVersion);
   // The top-level section layout is part of the schema contract.
   EXPECT_NE(doc.find("config"), nullptr);
   EXPECT_NE(doc.find("timing"), nullptr);
@@ -101,6 +102,43 @@ TEST(RunReport, FromJsonRejectsWrongSchema) {
   Json doc = make_report().to_json();
   doc.set("schema", Json("something.else.v9"));
   EXPECT_THROW(RunReport::from_json(doc), std::runtime_error);
+}
+
+TEST(RunReport, FromJsonStillAcceptsV1Reports) {
+  // Artifacts written before schema_version existed must keep loading.
+  Json doc = make_report().to_json();
+  doc.set("schema", Json(kRunReportSchemaV1));
+  const RunReport restored = RunReport::from_json(doc);
+  EXPECT_EQ(restored.binary, make_report().binary);
+}
+
+TEST(RunReport, FromJsonRejectsNewerVersionWithClearMessage) {
+  Json doc = make_report().to_json();
+  doc.set("schema_version", Json(kRunReportVersion + 1));
+  try {
+    RunReport::from_json(doc);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("newer"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RunReport, DistributionsRoundTrip) {
+  RunReport report = make_report();
+  std::vector<NamedDist> dists(1);
+  dists[0].name = "link_delay.0->1";
+  for (int i = 1; i <= 100; ++i) dists[0].sketch.observe(i * 0.1);
+  report.fill_dists(dists);
+  ASSERT_EQ(report.distributions.size(), 1u);
+  EXPECT_EQ(report.distributions[0].count, 100u);
+
+  const RunReport restored =
+      RunReport::from_json(Json::parse(report.to_json().dump(2)));
+  ASSERT_EQ(restored.distributions.size(), 1u);
+  EXPECT_EQ(restored.distributions[0].name, "link_delay.0->1");
+  EXPECT_EQ(restored.distributions[0].count, 100u);
+  EXPECT_NEAR(restored.distributions[0].p50, 5.05, 0.5);
 }
 
 TEST(RunReport, FillPhasesMatchesAsciiArithmetic) {

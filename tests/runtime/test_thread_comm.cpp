@@ -28,6 +28,47 @@ TEST(ThreadComm, SendRecvRoundTrip) {
   EXPECT_EQ(received, (std::vector<double>{9.0, 8.0}));
 }
 
+TEST(ThreadComm, RecordTraceCapturesCausalSendRecvEdges) {
+  ThreadConfig config = quick_config(2);
+  config.record_trace = true;
+  const ThreadResult result =
+      run_threaded(config, [&](Communicator& comm) {
+        if (comm.rank() == 0) {
+          comm.send_doubles(1, 3, std::vector<double>{1.0});
+        } else {
+          (void)comm.recv_doubles(0, 3);
+        }
+      });
+  int sends = 0;
+  int recvs = 0;
+  for (const auto& e : result.trace.causal()) {
+    if (e.kind == des::CausalKind::Send) {
+      ++sends;
+      EXPECT_EQ(e.lane, 0u);
+      EXPECT_EQ(e.peer, 1);
+    }
+    if (e.kind == des::CausalKind::Recv) {
+      ++recvs;
+      EXPECT_EQ(e.lane, 1u);
+      EXPECT_EQ(e.peer, 0);
+      EXPECT_EQ(e.tag, 3);
+    }
+  }
+  EXPECT_EQ(sends, 1);
+  EXPECT_EQ(recvs, 1);
+}
+
+TEST(ThreadComm, TracingOffRecordsNothing) {
+  const ThreadResult result =
+      run_threaded(quick_config(2), [&](Communicator& comm) {
+        if (comm.rank() == 0)
+          comm.send_doubles(1, 3, std::vector<double>{1.0});
+        else
+          (void)comm.recv_doubles(0, 3);
+      });
+  EXPECT_TRUE(result.trace.causal().empty());
+}
+
 TEST(ThreadComm, AllToAllExchange) {
   constexpr int kRanks = 4;
   std::array<std::array<double, kRanks>, kRanks> got{};

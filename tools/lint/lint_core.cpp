@@ -44,7 +44,11 @@ const std::vector<RuleSpec> kRules = {
     {"hot-path-callable",
      "std::function/std::bind in a DES hot-path header (regresses the "
      "allocation-free event arena; use des::EventFn or a template parameter)",
-     {"src/des/"},
+     // Trace/distribution emission sits on the send/recv/compute hot paths,
+     // so its headers get the same no-type-erased-callables discipline.
+     // (runtime/communicator.hpp stays out: RankBody is std::function by
+     // design — it is invoked once per rank, not per event.)
+     {"src/des/", "src/obs/dist_sketch", "src/obs/trace_export"},
      {},
      true},
     {"unordered-iter",

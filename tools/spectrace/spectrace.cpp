@@ -1,0 +1,197 @@
+// spectrace: analyze a specomp JSONL trace (see obs/trace_export.hpp).
+//
+//   $ ./tools/spectrace/spectrace trace.jsonl              # all analyses, text
+//   $ ./tools/spectrace/spectrace --self-check trace.jsonl # validate only
+//   $ ./tools/spectrace/spectrace --cascades --json trace.jsonl
+//
+// Flags (combinable; no analysis flag = run everything):
+//   --self-check     structural validation (exit 1 when it fails)
+//   --cascades       rollback-cascade graph: depth, width, wasted time
+//   --critical-path  per-rank time breakdown + blocked-on chain
+//   --propagation    delay-propagation report from the first injected stall
+//   --json           machine-readable output (deterministic bytes)
+//   --out=FILE       write the report there instead of stdout
+//
+// Exit codes: 0 ok, 1 self-check failed, 2 usage or I/O error,
+// 3 malformed trace.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "spectrace_core.hpp"
+
+namespace {
+
+using spectrace::Json;
+
+void print_self_check(std::ostream& os, const spectrace::SelfCheckResult& r) {
+  os << "self-check: " << (r.ok ? "ok" : "FAILED") << "\n";
+  for (const auto& e : r.errors) os << "  error: " << e << "\n";
+  os << "  duplicate recvs:  " << r.duplicate_recvs << "\n"
+     << "  unmatched sends:  " << r.unmatched_sends
+     << "  (lost or in flight at shutdown)\n"
+     << "  open degraded:    " << r.open_degraded
+     << "  (ranks still degraded at shutdown)\n";
+}
+
+void print_cascades(std::ostream& os, const spectrace::CascadeReport& r) {
+  os << "rollback cascades: " << r.cascades.size() << " cascade(s), "
+     << r.total_rollbacks << " rollback(s), " << r.total_wasted_seconds
+     << " s wasted in replay\n";
+  for (std::size_t i = 0; i < r.cascades.size(); ++i) {
+    const spectrace::Cascade& c = r.cascades[i];
+    os << "  #" << i << ": " << c.nodes.size() << " rollbacks, depth "
+       << c.depth << ", width " << c.width << " lanes, t=[" << c.first_at_s
+       << ", " << c.last_at_s << "] s, wasted " << c.wasted_seconds << " s\n";
+    for (const auto& node : c.nodes)
+      os << "      lane " << node.lane << " iter " << node.iter << " (peer "
+         << node.peer << ") at " << node.at_s << " s\n";
+  }
+}
+
+void print_critical_path(std::ostream& os,
+                         const spectrace::CriticalPathReport& r) {
+  os << "critical path: makespan " << r.makespan_s << " s on lane "
+     << r.makespan_lane << "\n  blocked-on chain:";
+  for (const auto lane : r.chain) os << " " << lane;
+  os << "\n";
+  for (const auto& rank : r.ranks) {
+    os << "  lane " << rank.lane << ": " << rank.total_s << " s total\n";
+    for (const auto& [kind, seconds] : rank.by_kind)
+      os << "      " << kind << ": " << seconds << " s\n";
+    for (const auto& [peer, seconds] : rank.waited_on)
+      os << "      waited on lane " << peer << ": " << seconds << " s\n";
+  }
+}
+
+void print_propagation(std::ostream& os,
+                       const spectrace::PropagationReport& r) {
+  if (!r.has_anchor) {
+    os << "delay propagation: no stall event in trace (nothing to anchor "
+          "on)\n";
+    return;
+  }
+  os << "delay propagation: " << r.anchor_len_s << " s stall on lane "
+     << r.anchor_lane << " at " << r.anchor_at_s << " s\n"
+     << "  reached " << r.infections.size() << " lane(s), depth " << r.depth
+     << " hop(s), front speed " << r.front_speed_lanes_per_s
+     << " lanes/s, decay " << r.decay_per_hop << " per hop\n";
+  for (const auto& inf : r.infections)
+    os << "    lane " << inf.lane << ": hop " << inf.hops << " at "
+       << inf.infected_at_s << " s, excess wait " << inf.excess_wait_s
+       << " s\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool want_self_check = false;
+  bool want_cascades = false;
+  bool want_critical = false;
+  bool want_propagation = false;
+  bool want_json = false;
+  std::string out_path;
+  std::string in_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-check") {
+      want_self_check = true;
+    } else if (arg == "--cascades") {
+      want_cascades = true;
+    } else if (arg == "--critical-path") {
+      want_critical = true;
+    } else if (arg == "--propagation") {
+      want_propagation = true;
+    } else if (arg == "--json") {
+      want_json = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: spectrace [--self-check] [--cascades] [--critical-path]\n"
+          "                 [--propagation] [--json] [--out=FILE] TRACE.jsonl\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else if (in_path.empty()) {
+      in_path = arg;
+    } else {
+      std::fprintf(stderr, "error: more than one input file\n");
+      return 2;
+    }
+  }
+  if (in_path.empty()) {
+    std::fprintf(stderr, "error: no trace file (see --help)\n");
+    return 2;
+  }
+  const bool all = !want_self_check && !want_cascades && !want_critical &&
+                   !want_propagation;
+
+  std::ifstream in(in_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", in_path.c_str());
+    return 2;
+  }
+  spectrace::ParsedTrace trace;
+  try {
+    trace = spectrace::parse_jsonl(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", in_path.c_str(), e.what());
+    return 3;
+  }
+
+  std::ostringstream body;
+  int exit_code = 0;
+
+  if (want_json) {
+    Json doc = Json::object();
+    doc.set("schema", "specomp.spectrace.v1");
+    doc.set("schema_version", 1);
+    if (all || want_self_check) {
+      const auto r = spectrace::self_check(trace);
+      if (!r.ok) exit_code = 1;
+      doc.set("self_check", spectrace::self_check_json(r));
+    }
+    if (all || want_cascades)
+      doc.set("cascades",
+              spectrace::cascade_report_json(spectrace::cascades(trace)));
+    if (all || want_critical)
+      doc.set("critical_path", spectrace::critical_path_json(
+                                   spectrace::critical_path(trace)));
+    if (all || want_propagation)
+      doc.set("propagation", spectrace::propagation_report_json(
+                                 spectrace::delay_propagation(trace)));
+    body << doc.dump(2) << "\n";
+  } else {
+    body << in_path << ": " << trace.lines << " lines, " << trace.lanes
+         << " lanes, " << trace.spans.size() << " spans, "
+         << trace.causal.size() << " causal events\n";
+    if (all || want_self_check) {
+      const auto r = spectrace::self_check(trace);
+      if (!r.ok) exit_code = 1;
+      print_self_check(body, r);
+    }
+    if (all || want_cascades) print_cascades(body, spectrace::cascades(trace));
+    if (all || want_critical)
+      print_critical_path(body, spectrace::critical_path(trace));
+    if (all || want_propagation)
+      print_propagation(body, spectrace::delay_propagation(trace));
+  }
+
+  if (out_path.empty()) {
+    std::cout << body.str();
+  } else {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    out << body.str();
+    if (!out) {
+      std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+      return 2;
+    }
+  }
+  return exit_code;
+}

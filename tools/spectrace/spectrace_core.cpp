@@ -1,0 +1,604 @@
+#include "spectrace_core.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "obs/trace_export.hpp"
+
+namespace spectrace {
+
+namespace {
+
+using specomp::des::CausalKind;
+
+/// Rollbacks further apart than this many engine iterations are never
+/// chained into one cascade, even on the same link — damage from a single
+/// mispeculation cannot outlive the forward window by much.
+constexpr long kCascadeHorizonIters = 8;
+
+constexpr double kTimeEps = 1e-9;
+
+/// des::span_name() strings the analyses key on.
+constexpr const char* kWaitSpan = "wait (idle)";
+constexpr const char* kCorrectSpan = "correct/recompute";
+
+[[noreturn]] void fail_line(std::size_t lineno, const std::string& what) {
+  throw std::runtime_error("trace line " + std::to_string(lineno) + ": " +
+                           what);
+}
+
+double opt_double(const Json& doc, std::string_view key) {
+  const Json* v = doc.find(key);
+  return v == nullptr ? 0.0 : v->as_double();
+}
+
+std::int64_t opt_int(const Json& doc, std::string_view key,
+                     std::int64_t fallback) {
+  const Json* v = doc.find(key);
+  return v == nullptr ? fallback : v->as_int();
+}
+
+}  // namespace
+
+ParsedTrace parse_jsonl(std::istream& is) {
+  ParsedTrace out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Json doc;
+    try {
+      doc = Json::parse(line);
+    } catch (const std::exception& e) {
+      fail_line(lineno, std::string("malformed JSON: ") + e.what());
+    }
+    if (!doc.is_object()) fail_line(lineno, "record is not an object");
+    const Json* type = doc.find("type");
+    if (type == nullptr || !type->is_string())
+      fail_line(lineno, "record has no \"type\"");
+    const std::string& t = type->as_string();
+
+    if (t == "meta") {
+      out.schema = doc.at("schema").as_string();
+      out.schema_version = static_cast<int>(doc.at("schema_version").as_int());
+      out.lanes = doc.at("lanes").as_uint();
+      if (out.schema_version > specomp::obs::kTraceSchemaVersion) {
+        fail_line(lineno,
+                  "schema_version " + std::to_string(out.schema_version) +
+                      " is newer than this spectrace supports (" +
+                      std::to_string(specomp::obs::kTraceSchemaVersion) +
+                      ") — rebuild spectrace or regenerate the trace");
+      }
+    } else if (t == "span") {
+      SpanRec s;
+      s.lane = doc.at("lane").as_uint();
+      s.kind = doc.at("kind").as_string();
+      s.begin_s = doc.at("begin_s").as_double();
+      s.end_s = doc.at("end_s").as_double();
+      out.spans.push_back(std::move(s));
+    } else if (t == "event") {
+      ++out.point_events;
+    } else if (t == "causal") {
+      CausalRec c;
+      c.lane = doc.at("lane").as_uint();
+      const std::string& kind = doc.at("kind").as_string();
+      if (!specomp::des::causal_from_name(kind, c.kind))
+        fail_line(lineno, "unknown causal kind \"" + kind + "\"");
+      c.at_s = doc.at("at_s").as_double();
+      c.peer = static_cast<int>(opt_int(doc, "peer", -1));
+      c.tag = static_cast<int>(opt_int(doc, "tag", 0));
+      c.seq = static_cast<std::uint64_t>(opt_int(doc, "seq", 0));
+      c.iter = static_cast<long>(opt_int(doc, "iter", -1));
+      c.t2_s = opt_double(doc, "t2_s");
+      out.causal.push_back(c);
+    } else {
+      fail_line(lineno, "unknown record type \"" + t + "\"");
+    }
+  }
+  out.lines = lineno;
+  return out;
+}
+
+// ---- Self-check ------------------------------------------------------------
+
+SelfCheckResult self_check(const ParsedTrace& trace) {
+  SelfCheckResult r;
+  auto err = [&](std::string msg) { r.errors.push_back(std::move(msg)); };
+
+  if (trace.schema_version == 0) {
+    err("no meta line — not a " + std::string(specomp::obs::kTraceSchema) +
+        " JSONL trace (legacy or truncated file?)");
+  } else if (trace.schema != specomp::obs::kTraceSchema) {
+    err("meta schema \"" + trace.schema + "\" is not " +
+        specomp::obs::kTraceSchema);
+  }
+
+  for (const auto& s : trace.spans) {
+    if (s.end_s < s.begin_s - kTimeEps) {
+      err("negative span on lane " + std::to_string(s.lane) + " (" + s.kind +
+          "): [" + std::to_string(s.begin_s) + ", " + std::to_string(s.end_s) +
+          "]");
+    }
+  }
+
+  // Send→recv matching: a recv must name a send that already happened.
+  using MsgKey = std::tuple<std::uint64_t, int, std::uint64_t>;
+  struct SendState {
+    double at_s;
+    bool consumed = false;
+  };
+  std::map<MsgKey, SendState> sends;
+  std::map<std::uint64_t, long> degraded_depth;
+
+  for (const auto& c : trace.causal) {
+    if (trace.lanes > 0 && c.lane >= trace.lanes) {
+      err("causal event on lane " + std::to_string(c.lane) +
+          " but meta declares only " + std::to_string(trace.lanes) + " lanes");
+      continue;
+    }
+    switch (c.kind) {
+      case CausalKind::Send:
+        sends[MsgKey{c.lane, c.tag, c.seq}] = SendState{c.at_s};
+        break;
+      case CausalKind::Recv: {
+        const MsgKey key{static_cast<std::uint64_t>(c.peer), c.tag, c.seq};
+        const auto it = sends.find(key);
+        if (it == sends.end()) {
+          err("recv on lane " + std::to_string(c.lane) + " of (src=" +
+              std::to_string(c.peer) + ", tag=" + std::to_string(c.tag) +
+              ", seq=" + std::to_string(c.seq) + ") has no matching send");
+          break;
+        }
+        if (it->second.consumed) {
+          ++r.duplicate_recvs;  // dup fault with recovery off — not fatal
+        }
+        it->second.consumed = true;
+        if (c.at_s < it->second.at_s - kTimeEps) {
+          err("recv at " + std::to_string(c.at_s) + "s precedes its send at " +
+              std::to_string(it->second.at_s) + "s (src=" +
+              std::to_string(c.peer) + ", seq=" + std::to_string(c.seq) + ")");
+        }
+        if (c.t2_s > 0.0 && c.t2_s < it->second.at_s - kTimeEps) {
+          err("delivery at " + std::to_string(c.t2_s) +
+              "s precedes its send at " + std::to_string(it->second.at_s) +
+              "s (src=" + std::to_string(c.peer) +
+              ", seq=" + std::to_string(c.seq) + ")");
+        }
+        break;
+      }
+      case CausalKind::DegradedEnter:
+        ++degraded_depth[c.lane];
+        break;
+      case CausalKind::DegradedExit:
+        if (--degraded_depth[c.lane] < 0) {
+          err("degraded-exit on lane " + std::to_string(c.lane) +
+              " without a matching degraded-enter");
+          degraded_depth[c.lane] = 0;
+        }
+        break;
+      case CausalKind::Stall:
+        if (c.t2_s < 0.0)
+          err("stall on lane " + std::to_string(c.lane) +
+              " with negative length");
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (const auto& [key, state] : sends)
+    if (!state.consumed) ++r.unmatched_sends;
+  for (const auto& [lane, depth] : degraded_depth)
+    if (depth > 0) ++r.open_degraded;  // run ended mid-span: allowed
+
+  r.ok = r.errors.empty();
+  return r;
+}
+
+Json self_check_json(const SelfCheckResult& result) {
+  Json doc = Json::object();
+  doc.set("ok", Json(result.ok));
+  Json errs = Json::array();
+  for (const auto& e : result.errors) errs.push_back(e);
+  doc.set("errors", std::move(errs));
+  doc.set("duplicate_recvs", result.duplicate_recvs);
+  doc.set("unmatched_sends", result.unmatched_sends);
+  doc.set("open_degraded", result.open_degraded);
+  return doc;
+}
+
+// ---- Rollback cascades -----------------------------------------------------
+
+CascadeReport cascades(const ParsedTrace& trace) {
+  CascadeReport report;
+  std::vector<CascadeNode> nodes;
+  for (const auto& c : trace.causal) {
+    if (c.kind != CausalKind::Rollback) continue;
+    nodes.push_back(CascadeNode{c.lane, c.peer, c.iter, c.at_s});
+  }
+  report.total_rollbacks = nodes.size();
+  if (nodes.empty()) return report;
+
+  const std::size_t n = nodes.size();
+  // could_cause(u, v): u's rollback could have propagated to v's.
+  auto could_cause = [&](std::size_t u, std::size_t v) {
+    if (u == v) return false;
+    const CascadeNode& a = nodes[u];
+    const CascadeNode& b = nodes[v];
+    if (b.at_s < a.at_s - kTimeEps) return false;
+    if (b.iter < a.iter || b.iter - a.iter > kCascadeHorizonIters) return false;
+    // Message-mediated: b failed checking a block from a's lane.  Same-lane:
+    // a replay storm produces back-to-back rollbacks on one rank.
+    return b.peer == static_cast<int>(a.lane) || b.lane == a.lane;
+  };
+
+  // Union-find over nodes.
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  std::vector<std::size_t>* pp = &parent;
+  auto find = [pp](std::size_t x) {
+    while ((*pp)[x] != x) x = (*pp)[x] = (*pp)[(*pp)[x]];
+    return x;
+  };
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (could_cause(u, v) || could_cause(v, u))
+        parent[find(u)] = find(v);
+    }
+  }
+
+  // Longest causal chain ending at each node (nodes are in trace order,
+  // which is non-decreasing in virtual time per lane; could_cause enforces
+  // the time ordering, so a forward DP is well-founded).
+  std::vector<std::size_t> depth(n, 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t u = 0; u < n; ++u) {
+      if (could_cause(u, v)) depth[v] = std::max(depth[v], depth[u] + 1);
+    }
+  }
+
+  // Attribute replay (correct/recompute) spans to the latest rollback on
+  // the same lane at or before the span's start.
+  std::vector<double> wasted(n, 0.0);
+  for (const auto& s : trace.spans) {
+    if (s.kind != kCorrectSpan) continue;
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (nodes[i].lane != s.lane) continue;
+      if (nodes[i].at_s > s.begin_s + kTimeEps) continue;
+      if (best == n || nodes[i].at_s >= nodes[best].at_s) best = i;
+    }
+    if (best < n) wasted[best] += s.end_s - s.begin_s;
+  }
+
+  // Materialise components in first-appearance order.
+  std::map<std::size_t, std::size_t> root_to_idx;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = find(i);
+    const auto [it, inserted] =
+        root_to_idx.emplace(root, report.cascades.size());
+    if (inserted) report.cascades.push_back(Cascade{});
+    Cascade& c = report.cascades[it->second];
+    if (c.nodes.empty()) {
+      c.first_at_s = nodes[i].at_s;
+      c.last_at_s = nodes[i].at_s;
+    } else {
+      c.first_at_s = std::min(c.first_at_s, nodes[i].at_s);
+      c.last_at_s = std::max(c.last_at_s, nodes[i].at_s);
+    }
+    c.nodes.push_back(nodes[i]);
+    c.depth = std::max(c.depth, depth[i]);
+    c.wasted_seconds += wasted[i];
+  }
+  for (auto& c : report.cascades) {
+    std::vector<std::uint64_t> lanes;
+    for (const auto& node : c.nodes) lanes.push_back(node.lane);
+    std::sort(lanes.begin(), lanes.end());
+    c.width = static_cast<std::size_t>(
+        std::unique(lanes.begin(), lanes.end()) - lanes.begin());
+    report.total_wasted_seconds += c.wasted_seconds;
+  }
+  std::sort(report.cascades.begin(), report.cascades.end(),
+            [](const Cascade& a, const Cascade& b) {
+              return a.first_at_s < b.first_at_s;
+            });
+  return report;
+}
+
+Json cascade_report_json(const CascadeReport& report) {
+  Json doc = Json::object();
+  doc.set("schema", "specomp.spectrace.cascades.v1");
+  doc.set("schema_version", 1);
+  doc.set("total_rollbacks", report.total_rollbacks);
+  doc.set("total_wasted_seconds", report.total_wasted_seconds);
+  Json arr = Json::array();
+  for (const auto& c : report.cascades) {
+    Json jc = Json::object();
+    jc.set("depth", c.depth);
+    jc.set("width", c.width);
+    jc.set("first_at_s", c.first_at_s);
+    jc.set("last_at_s", c.last_at_s);
+    jc.set("wasted_seconds", c.wasted_seconds);
+    Json jnodes = Json::array();
+    for (const auto& node : c.nodes) {
+      Json jn = Json::object();
+      jn.set("lane", node.lane);
+      jn.set("peer", node.peer);
+      jn.set("iter", node.iter);
+      jn.set("at_s", node.at_s);
+      jnodes.push_back(std::move(jn));
+    }
+    jc.set("nodes", std::move(jnodes));
+    arr.push_back(std::move(jc));
+  }
+  doc.set("cascades", std::move(arr));
+  return doc;
+}
+
+// ---- Per-rank critical path ------------------------------------------------
+
+CriticalPathReport critical_path(const ParsedTrace& trace) {
+  CriticalPathReport report;
+
+  std::uint64_t max_lane = 0;
+  for (const auto& s : trace.spans) max_lane = std::max(max_lane, s.lane);
+  for (const auto& c : trace.causal) max_lane = std::max(max_lane, c.lane);
+  const std::size_t lanes = std::max(
+      trace.lanes,
+      trace.spans.empty() && trace.causal.empty()
+          ? std::size_t{0}
+          : static_cast<std::size_t>(max_lane) + 1);
+  if (lanes == 0) return report;
+
+  report.ranks.resize(lanes);
+  for (std::size_t l = 0; l < lanes; ++l)
+    report.ranks[l].lane = static_cast<std::uint64_t>(l);
+
+  // Recvs per lane, in trace order (non-decreasing time per lane): used to
+  // attribute each wait span to the message whose arrival ended it.
+  std::vector<std::vector<const CausalRec*>> recvs(lanes);
+  for (const auto& c : trace.causal)
+    if (c.kind == CausalKind::Recv) recvs[c.lane].push_back(&c);
+
+  auto bump = [](std::vector<std::pair<std::string, double>>& rows,
+                 const std::string& key, double v) {
+    for (auto& [k, total] : rows) {
+      if (k == key) {
+        total += v;
+        return;
+      }
+    }
+    rows.emplace_back(key, v);
+  };
+
+  for (const auto& s : trace.spans) {
+    RankBreakdown& rank = report.ranks[s.lane];
+    const double dur = std::max(s.end_s - s.begin_s, 0.0);
+    rank.total_s += dur;
+    bump(rank.by_kind, s.kind, dur);
+    if (s.end_s > report.makespan_s) {
+      report.makespan_s = s.end_s;
+      report.makespan_lane = s.lane;
+    }
+    if (s.kind == kWaitSpan) {
+      // The recv that ended this wait carries the peer we were blocked on.
+      for (const CausalRec* rec : recvs[s.lane]) {
+        if (std::abs(rec->at_s - s.end_s) <= 1e-7) {
+          for (auto& [peer, total] : rank.waited_on) {
+            if (peer == rec->peer) {
+              total += dur;
+              peer = rec->peer;
+              goto attributed;
+            }
+          }
+          rank.waited_on.emplace_back(rec->peer, dur);
+          goto attributed;
+        }
+      }
+    attributed:;
+    }
+  }
+
+  // Blocked-on chain from the makespan rank.
+  std::vector<bool> visited(lanes, false);
+  std::uint64_t at = report.makespan_lane;
+  for (;;) {
+    report.chain.push_back(at);
+    visited[at] = true;
+    const RankBreakdown& rank = report.ranks[at];
+    int next = -1;
+    double most = 0.0;
+    for (const auto& [peer, total] : rank.waited_on) {
+      if (peer >= 0 && total > most) {
+        most = total;
+        next = peer;
+      }
+    }
+    if (next < 0 || static_cast<std::size_t>(next) >= lanes ||
+        visited[static_cast<std::size_t>(next)]) {
+      break;
+    }
+    at = static_cast<std::uint64_t>(next);
+  }
+  return report;
+}
+
+Json critical_path_json(const CriticalPathReport& report) {
+  Json doc = Json::object();
+  doc.set("schema", "specomp.spectrace.critical_path.v1");
+  doc.set("schema_version", 1);
+  doc.set("makespan_s", report.makespan_s);
+  doc.set("makespan_lane", report.makespan_lane);
+  Json chain = Json::array();
+  for (const std::uint64_t lane : report.chain) chain.push_back(lane);
+  doc.set("blocked_on_chain", std::move(chain));
+  Json ranks = Json::array();
+  for (const auto& rank : report.ranks) {
+    Json jr = Json::object();
+    jr.set("lane", rank.lane);
+    jr.set("total_s", rank.total_s);
+    Json kinds = Json::object();
+    for (const auto& [kind, total] : rank.by_kind) kinds.set(kind, total);
+    jr.set("by_kind", std::move(kinds));
+    Json waited = Json::object();
+    for (const auto& [peer, total] : rank.waited_on)
+      waited.set(std::to_string(peer), total);
+    jr.set("waited_on", std::move(waited));
+    ranks.push_back(std::move(jr));
+  }
+  doc.set("ranks", std::move(ranks));
+  return doc;
+}
+
+// ---- Delay propagation -----------------------------------------------------
+
+PropagationReport delay_propagation(const ParsedTrace& trace) {
+  PropagationReport report;
+
+  const CausalRec* anchor = nullptr;
+  for (const auto& c : trace.causal) {
+    if (c.kind == CausalKind::Stall &&
+        (anchor == nullptr || c.at_s < anchor->at_s)) {
+      anchor = &c;
+    }
+  }
+  if (anchor == nullptr) return report;
+  report.has_anchor = true;
+  report.anchor_lane = anchor->lane;
+  report.anchor_at_s = anchor->at_s;
+  report.anchor_len_s = anchor->t2_s;
+
+  // Match each recv to its send time.
+  using MsgKey = std::tuple<std::uint64_t, int, std::uint64_t>;
+  std::map<MsgKey, double> send_time;
+  for (const auto& c : trace.causal)
+    if (c.kind == CausalKind::Send)
+      send_time[MsgKey{c.lane, c.tag, c.seq}] = c.at_s;
+
+  struct TaintedRecv {
+    double at_s;
+    double sent_at_s;
+    std::uint64_t from;
+    std::uint64_t to;
+  };
+  std::vector<TaintedRecv> edges;
+  for (const auto& c : trace.causal) {
+    if (c.kind != CausalKind::Recv) continue;
+    const auto it =
+        send_time.find(MsgKey{static_cast<std::uint64_t>(c.peer), c.tag, c.seq});
+    if (it == send_time.end()) continue;
+    edges.push_back(TaintedRecv{c.at_s, it->second,
+                                static_cast<std::uint64_t>(c.peer), c.lane});
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const TaintedRecv& a, const TaintedRecv& b) {
+                     return a.at_s < b.at_s;
+                   });
+
+  // BFS flood over message edges in arrival order.  A recv can only be
+  // tainted by a send issued at-or-after the sender's own infection, and
+  // recv time >= send time, so one ascending pass reaches the fixpoint.
+  std::map<std::uint64_t, LaneInfection> infected;
+  infected[anchor->lane] =
+      LaneInfection{anchor->lane, anchor->at_s, 0, 0.0};
+  for (const auto& e : edges) {
+    const auto src = infected.find(e.from);
+    if (src == infected.end()) continue;
+    if (e.sent_at_s < src->second.infected_at_s - kTimeEps) continue;
+    if (infected.count(e.to) != 0) continue;
+    infected[e.to] =
+        LaneInfection{e.to, e.at_s, src->second.hops + 1, 0.0};
+  }
+
+  // Excess wait per infected lane vs its own pre-anchor wait rate.
+  for (auto& [lane, inf] : infected) {
+    double pre_wait = 0.0;
+    double post_wait = 0.0;
+    double lane_end = inf.infected_at_s;
+    for (const auto& s : trace.spans) {
+      if (s.lane != lane) continue;
+      lane_end = std::max(lane_end, s.end_s);
+      if (s.kind != kWaitSpan) continue;
+      // Overlap with [0, anchor) and [infected_at, inf).
+      pre_wait += std::max(
+          0.0, std::min(s.end_s, report.anchor_at_s) - s.begin_s);
+      post_wait += std::max(0.0, s.end_s - std::max(s.begin_s,
+                                                    inf.infected_at_s));
+    }
+    const double pre_rate =
+        report.anchor_at_s > 0.0 ? pre_wait / report.anchor_at_s : 0.0;
+    const double window = std::max(lane_end - inf.infected_at_s, 0.0);
+    inf.excess_wait_s = std::max(post_wait - pre_rate * window, 0.0);
+  }
+
+  for (const auto& [lane, inf] : infected)
+    report.infections.push_back(inf);
+  std::stable_sort(report.infections.begin(), report.infections.end(),
+                   [](const LaneInfection& a, const LaneInfection& b) {
+                     if (a.infected_at_s != b.infected_at_s)
+                       return a.infected_at_s < b.infected_at_s;
+                     return a.lane < b.lane;
+                   });
+
+  double last_at = report.anchor_at_s;
+  std::map<long, double> hop_excess;
+  for (const auto& inf : report.infections) {
+    report.depth = std::max(report.depth, static_cast<std::size_t>(inf.hops));
+    last_at = std::max(last_at, inf.infected_at_s);
+    hop_excess[inf.hops] += inf.excess_wait_s;
+  }
+  // The anchor lane's "excess" is the stall itself — it does not wait more,
+  // it computes later.  Using the injected length makes hop-0 comparable.
+  if (hop_excess.count(0) != 0)
+    hop_excess[0] = std::max(hop_excess[0], report.anchor_len_s);
+
+  if (report.infections.size() > 1 && last_at > report.anchor_at_s) {
+    report.front_speed_lanes_per_s =
+        static_cast<double>(report.infections.size() - 1) /
+        (last_at - report.anchor_at_s);
+  }
+
+  double ratio_sum = 0.0;
+  int ratio_count = 0;
+  for (const auto& [hop, excess] : hop_excess) {
+    const auto next = hop_excess.find(hop + 1);
+    if (next == hop_excess.end() || excess <= 0.0) continue;
+    ratio_sum += next->second / excess;
+    ++ratio_count;
+  }
+  if (ratio_count > 0) report.decay_per_hop = ratio_sum / ratio_count;
+
+  return report;
+}
+
+Json propagation_report_json(const PropagationReport& report) {
+  Json doc = Json::object();
+  doc.set("schema", "specomp.spectrace.propagation.v1");
+  doc.set("schema_version", 1);
+  doc.set("has_anchor", Json(report.has_anchor));
+  if (!report.has_anchor) return doc;
+  doc.set("anchor_lane", report.anchor_lane);
+  doc.set("anchor_at_s", report.anchor_at_s);
+  doc.set("anchor_len_s", report.anchor_len_s);
+  doc.set("depth", report.depth);
+  doc.set("front_speed_lanes_per_s", report.front_speed_lanes_per_s);
+  doc.set("decay_per_hop", report.decay_per_hop);
+  Json arr = Json::array();
+  for (const auto& inf : report.infections) {
+    Json ji = Json::object();
+    ji.set("lane", inf.lane);
+    ji.set("hops", inf.hops);
+    ji.set("infected_at_s", inf.infected_at_s);
+    ji.set("excess_wait_s", inf.excess_wait_s);
+    arr.push_back(std::move(ji));
+  }
+  doc.set("infections", std::move(arr));
+  return doc;
+}
+
+}  // namespace spectrace

@@ -1,0 +1,185 @@
+// spectrace: offline analyzer for specomp JSONL traces (schema v2).
+//
+// The runtime records *what happened* — spans (occupancy), causal events
+// (send→recv edges, speculation lifecycles, injected stalls).  This library
+// turns that record into the three quantities the paper's trade-off analysis
+// needs and the raw trace does not show:
+//
+//   * rollback cascades — connected groups of rollbacks linked by the
+//     messages that carried a mispeculation from rank to rank (Manita &
+//     Simonot's cascade rollback model): depth, width, wasted virtual time;
+//   * per-rank critical path — where each rank's virtual time went, which
+//     peer it was blocked on, and the blocked-on chain from the makespan
+//     rank;
+//   * delay propagation — starting from an injected one-off stall, a BFS
+//     over the message edges gives each rank's infection time and hop
+//     count, hence front speed and per-hop decay (Afzal et al.).
+//
+// Everything here is a pure function of the parsed trace: same input file,
+// same report bytes.  No dependencies beyond the repo's own Json and the
+// des::CausalKind names.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "des/trace.hpp"
+#include "obs/json.hpp"
+
+namespace spectrace {
+
+using specomp::obs::Json;
+
+struct CausalRec {
+  std::uint64_t lane = 0;
+  specomp::des::CausalKind kind = specomp::des::CausalKind::Send;
+  double at_s = 0.0;
+  int peer = -1;
+  int tag = 0;
+  std::uint64_t seq = 0;
+  long iter = -1;
+  double t2_s = 0.0;
+};
+
+struct SpanRec {
+  std::uint64_t lane = 0;
+  std::string kind;  // des::span_name() string, e.g. "correct/recompute"
+  double begin_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct ParsedTrace {
+  /// 0 when the file had no meta line (legacy trace) — self_check flags it.
+  int schema_version = 0;
+  std::string schema;
+  std::size_t lanes = 0;
+  std::vector<CausalRec> causal;
+  std::vector<SpanRec> spans;
+  std::size_t point_events = 0;
+  std::size_t lines = 0;
+};
+
+/// Parses a JSONL trace.  Throws std::runtime_error (with the 1-based line
+/// number) on malformed JSON, an unknown record shape, or a meta line whose
+/// schema_version is newer than this build understands.
+ParsedTrace parse_jsonl(std::istream& is);
+
+// ---- Self-check ------------------------------------------------------------
+
+struct SelfCheckResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+  /// Extra recvs for a (src, tag, seq) already consumed once — expected
+  /// under dup faults with recovery off, so counted rather than fatal.
+  std::size_t duplicate_recvs = 0;
+  /// Sends that were never received — expected for lost (norecovery-drop)
+  /// messages and for messages still in flight at shutdown.
+  std::size_t unmatched_sends = 0;
+  /// DegradedEnter without a matching exit — a run that ended mid-span.
+  std::size_t open_degraded = 0;
+};
+
+/// Structural validation: meta line present and versioned, every recv has a
+/// matching earlier send, spans are non-negative, degraded enter/exit nest.
+SelfCheckResult self_check(const ParsedTrace& trace);
+Json self_check_json(const SelfCheckResult& result);
+
+// ---- Rollback cascades -----------------------------------------------------
+
+struct CascadeNode {
+  std::uint64_t lane = 0;
+  int peer = -1;  // the peer whose block failed the check
+  long iter = -1;
+  double at_s = 0.0;
+};
+
+struct Cascade {
+  std::vector<CascadeNode> nodes;  // in trace order
+  /// Longest causal chain through the cascade's rollbacks, in nodes.
+  std::size_t depth = 0;
+  /// Distinct lanes that rolled back.
+  std::size_t width = 0;
+  double first_at_s = 0.0;
+  double last_at_s = 0.0;
+  /// Virtual seconds of correct/recompute (replay) attributed to this
+  /// cascade's rollbacks — the wasted work the cascade caused.
+  double wasted_seconds = 0.0;
+};
+
+struct CascadeReport {
+  std::vector<Cascade> cascades;  // ordered by first_at_s
+  std::size_t total_rollbacks = 0;
+  double total_wasted_seconds = 0.0;
+};
+
+/// Groups rollbacks into cascades.  Two rollbacks are linked when a message
+/// could have carried the damage: R2 (lane B) → R1 (lane A) iff R1's failed
+/// peer is B, R2 is no later than R1, and R1 re-checks an iteration at or
+/// after R2's (within a small horizon so unrelated late rollbacks on the
+/// same peer do not chain).  Replay spans are attributed to the most recent
+/// rollback on their lane.
+CascadeReport cascades(const ParsedTrace& trace);
+Json cascade_report_json(const CascadeReport& report);
+
+// ---- Per-rank critical path ------------------------------------------------
+
+struct RankBreakdown {
+  std::uint64_t lane = 0;
+  double total_s = 0.0;  // sum of all span time on this lane
+  /// (span kind, seconds) rows in first-seen order.
+  std::vector<std::pair<std::string, double>> by_kind;
+  /// (peer, seconds blocked waiting on that peer) — wait spans attributed
+  /// to the recv that ended them; first-seen order.
+  std::vector<std::pair<int, double>> waited_on;
+};
+
+struct CriticalPathReport {
+  double makespan_s = 0.0;
+  std::uint64_t makespan_lane = 0;
+  std::vector<RankBreakdown> ranks;  // by lane
+  /// Blocked-on chain starting at the makespan lane: each entry is the peer
+  /// the previous rank spent most wait time on; stops at a cycle or a rank
+  /// that never waited.
+  std::vector<std::uint64_t> chain;
+};
+
+CriticalPathReport critical_path(const ParsedTrace& trace);
+Json critical_path_json(const CriticalPathReport& report);
+
+// ---- Delay propagation -----------------------------------------------------
+
+struct LaneInfection {
+  std::uint64_t lane = 0;
+  double infected_at_s = 0.0;  // anchor time (hop 0) or first tainted recv
+  long hops = 0;               // message edges from the anchor
+  /// Wait seconds on this lane after infection minus the lane's pre-anchor
+  /// mean wait rate over the same duration — the delay the front deposited
+  /// here.  0 when the trace has no spans (thread backend).
+  double excess_wait_s = 0.0;
+};
+
+struct PropagationReport {
+  bool has_anchor = false;
+  std::uint64_t anchor_lane = 0;
+  double anchor_at_s = 0.0;
+  double anchor_len_s = 0.0;
+  std::vector<LaneInfection> infections;  // by infection time; anchor first
+  std::size_t depth = 0;  // max hops reached
+  /// Lanes infected per second of virtual time, over the span from anchor
+  /// to the last infection (0 when fewer than 2 lanes are infected).
+  double front_speed_lanes_per_s = 0.0;
+  /// Mean ratio of per-hop total excess wait between successive hops —
+  /// < 1 means the delay decays as it travels (Afzal et al.'s regime).
+  double decay_per_hop = 0.0;
+};
+
+/// Anchors at the first Stall causal event and BFS-floods the send→recv
+/// edges: a message sent by an infected lane at-or-after its infection time
+/// infects the receiving lane at delivery.  Reports has_anchor = false (and
+/// nothing else) when the trace contains no stall.
+PropagationReport delay_propagation(const ParsedTrace& trace);
+Json propagation_report_json(const PropagationReport& report);
+
+}  // namespace spectrace
