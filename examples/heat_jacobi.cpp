@@ -13,6 +13,7 @@
 #include "apps/heat.hpp"
 #include "apps/jacobi.hpp"
 #include "obs/artifacts.hpp"
+#include "runtime/collective_algo.hpp"
 #include "runtime/fault.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -43,6 +44,21 @@ int main(int argc, char** argv) {
   // Fault injection (DESIGN.md §9): --fault-plan=drop:0.05,... injects
   // deterministic faults on every run below and arms the engine's graceful
   // degradation so overdue halos are speculated past FW instead of stalling.
+  // Collective-algorithm selection (runtime/collective_algo.hpp): routes
+  // the backends' barriers and any collectives through flat linear or
+  // logarithmic tree algorithms.  Auto defers to the size heuristic.
+  runtime::CollectiveAlgo collective = runtime::CollectiveAlgo::Auto;
+  const std::string collective_arg = cli.get("collective", "auto");
+  if (const auto algo = runtime::parse_collective_algo(collective_arg)) {
+    runtime::set_default_collective_algo(*algo);
+    collective = *algo;
+  } else {
+    std::fprintf(stderr,
+                 "warning: unknown --collective '%s' (want flat|tree|auto); "
+                 "keeping auto\n",
+                 collective_arg.c_str());
+  }
+
   runtime::FaultPlanPtr fault;
   const std::string fault_spec = cli.get("fault-plan", "");
   if (!fault_spec.empty()) {
@@ -75,6 +91,7 @@ int main(int argc, char** argv) {
     s.forward_window = fw;
     s.theta = 1e-3;
     s.sim = latency_bound_network(p);
+    s.sim.collective = collective;
     s.sim.hb_check = cli.get_bool("hb-check");
     s.sim.fault = fault;
     s.graceful_degradation = fault != nullptr;
@@ -106,6 +123,7 @@ int main(int argc, char** argv) {
     s.forward_window = fw;
     s.theta = 1e-4;
     s.sim = latency_bound_network(p);
+    s.sim.collective = collective;
     s.sim.record_trace = fw == 2 && artifacts.wants_trace();
     s.sim.hb_check = cli.get_bool("hb-check");
     s.sim.fault = fault;

@@ -14,6 +14,7 @@
 #include "nbody/kernels/dispatch.hpp"
 #include "nbody/scenario.hpp"
 #include "obs/artifacts.hpp"
+#include "runtime/collective_algo.hpp"
 #include "runtime/fault.hpp"
 #include "support/cli.hpp"
 
@@ -72,8 +73,20 @@ int main(int argc, char** argv) {
   else
     std::fprintf(stderr,
                  "warning: unknown --kernel '%s' (want auto|scalar|tiled|"
-                 "tiled-mt); keeping auto\n",
+                 "tiled-mt|tree); keeping auto\n",
                  kernel_arg.c_str());
+  kernels::set_bh_opening_angle(
+      cli.get_double("bh-theta", kernels::bh_opening_angle()));
+  const std::string collective_arg = cli.get("collective", "auto");
+  if (const auto algo = runtime::parse_collective_algo(collective_arg)) {
+    runtime::set_default_collective_algo(*algo);
+    s.sim.collective = *algo;
+  } else {
+    std::fprintf(stderr,
+                 "warning: unknown --collective '%s' (want flat|tree|auto); "
+                 "keeping auto\n",
+                 collective_arg.c_str());
+  }
   for (const auto& unknown : cli.unused())
     std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
 
@@ -170,6 +183,11 @@ int main(int argc, char** argv) {
   report.extra.set("force_kernel",
                    obs::Json(std::string(kernels::force_kernel_name(
                        kernels::default_force_kernel()))));
+  report.extra.set("collective",
+                   obs::Json(std::string(runtime::collective_algo_name(
+                       runtime::resolve_collective_algo(
+                           s.sim.collective,
+                           static_cast<int>(s.sim.cluster.size()))))));
   report.extra.set("speedup_vs_single", obs::Json(t1 / run.sim.makespan_seconds));
   report.extra.set("energy_drift_fraction",
                    obs::Json(std::fabs(after.total_energy() - before.total_energy()) /

@@ -1,0 +1,59 @@
+// Barnes-Hut hierarchical force kernel — O(N log N) in the source count.
+//
+// The O(N^2) kernels stop scaling long before the simulated cluster does:
+// pushing N into 10^5..10^6 (the regime where large-p runs are worth
+// simulating) needs the classic Barnes-Hut approximation.  The kernel here
+// follows the exafmm lineage (SNIPPETS.md §3): a flat array of cells over
+// Morton-sorted bodies in SoA layout, an NCRIT leaf cap, and bottom-up
+// centres of mass; far cells interact through their centre of mass when the
+// opening criterion s/d < θ holds, near cells are opened down to leaves.
+//
+// Determinism (the repo-wide contract; see DETERMINISM.md):
+//   * The Morton sort breaks key ties by original index, so the sorted order
+//     — and hence every downstream summation order — is a pure function of
+//     the input block.
+//   * Build and traversal are single-threaded and visit children in fixed
+//     octant order; the accumulation order never depends on timing or
+//     --jobs.
+//   * Self-interaction is exact, not approximate: a cell whose body range
+//     contains the target's own source slot is always opened, so the skip
+//     happens at a leaf by index comparison — the same skip_offset contract
+//     as the exact kernels.
+//
+// Accuracy: every accepted cell satisfies s/d < θ, giving the standard
+// multipole-acceptance error of order (s/d)^2 per interaction.  Against the
+// scalar oracle the observed max error satisfies
+//     max_i |a_bh(i) - a_ref(i)| / rms_i |a_ref(i)|  <=  bound(θ)
+// with the bounds pinned by tests/nbody/test_bh_kernel.cpp (θ=0.3: 5e-3,
+// θ=0.5: 2.5e-2, θ=0.8: 1.5e-1 on Plummer inputs; typical observed errors
+// run at roughly half the bound).  θ→0 degenerates to the exact sum.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "nbody/types.hpp"
+
+namespace specomp::nbody::kernels {
+
+/// Bodies per leaf cell before subdivision stops (exafmm uses 10; 16 keeps
+/// leaf direct sums wide enough to amortise the traversal).
+inline constexpr std::size_t kBhNcrit = 16;
+
+/// Maximum octree depth — one level per Morton digit (21 bits per axis).
+/// Coincident bodies bottom out here into one shared leaf.
+inline constexpr int kBhMaxDepth = 21;
+
+/// Same contract as scalar_accumulate / tiled_accumulate: adds to `acc` the
+/// accelerations the source block exerts on each target, skipping the
+/// self-pair identified by `skip_offset` (SIZE_MAX for disjoint ranges).
+/// `theta` is the opening angle; the tree over the sources is rebuilt per
+/// call (the kernel layer is stateless).  Returns the number of interactions
+/// evaluated (cell + body), the tree kernel's analogue of the pair count.
+std::size_t bh_accumulate(std::span<const Vec3> target_pos,
+                          std::span<const Vec3> src_pos,
+                          std::span<const double> src_mass, double softening2,
+                          std::size_t skip_offset, std::span<Vec3> acc,
+                          double theta);
+
+}  // namespace specomp::nbody::kernels

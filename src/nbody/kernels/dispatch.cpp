@@ -3,6 +3,7 @@
 #include <atomic>
 #include <vector>
 
+#include "nbody/kernels/bh_tree.hpp"
 #include "nbody/kernels/kernel.hpp"
 #include "obs/metrics.hpp"
 #include "support/contracts.hpp"
@@ -16,8 +17,15 @@ namespace {
 constexpr std::size_t kScalarPairCutoff = 4096;
 /// tiled-mt needs enough target chunks to shard meaningfully.
 constexpr std::size_t kMinTargetsForMT = 4 * kTargetChunk;
+/// Auto escalates to Barnes-Hut at this many sources: far above every
+/// exact-path test and bench (so pre-existing runs keep bit-identical
+/// results), well below the 10^5..10^6 regime where O(N^2) stops being
+/// viable.  Any target count qualifies — the tree build is charged once per
+/// call and even a thin target slice amortises it at this N.
+constexpr std::size_t kTreeSourceCutoff = 32768;
 
 std::atomic<ForceKernel> g_default{ForceKernel::Auto};
+std::atomic<double> g_bh_theta{0.5};
 
 /// Thread-local SoA staging buffers, reused across calls (each
 /// ThreadCommunicator rank gets its own set).
@@ -39,6 +47,7 @@ struct KernelMetrics {
   obs::CounterRef calls_scalar;
   obs::CounterRef calls_tiled;
   obs::CounterRef calls_tiled_mt;
+  obs::CounterRef calls_tree;
   obs::CounterRef pairs;
   obs::HistogramRef tile_seconds;
 };
@@ -48,6 +57,7 @@ KernelMetrics& kernel_metrics() {
       obs::metrics().counter("nbody.kernel.calls.scalar"),
       obs::metrics().counter("nbody.kernel.calls.tiled"),
       obs::metrics().counter("nbody.kernel.calls.tiled_mt"),
+      obs::metrics().counter("nbody.kernel.calls.tree"),
       obs::metrics().counter("nbody.kernel.pairs"),
       obs::metrics().histogram("nbody.kernel.tile_seconds", 0.0, 1e-3, 50),
   };
@@ -83,6 +93,7 @@ std::optional<ForceKernel> parse_force_kernel(std::string_view name) noexcept {
   if (name == "scalar") return ForceKernel::Scalar;
   if (name == "tiled") return ForceKernel::Tiled;
   if (name == "tiled-mt") return ForceKernel::TiledMT;
+  if (name == "tree") return ForceKernel::Tree;
   return std::nullopt;
 }
 
@@ -92,8 +103,17 @@ std::string_view force_kernel_name(ForceKernel kind) noexcept {
     case ForceKernel::Scalar: return "scalar";
     case ForceKernel::Tiled: return "tiled";
     case ForceKernel::TiledMT: return "tiled-mt";
+    case ForceKernel::Tree: return "tree";
   }
   return "auto";
+}
+
+void set_bh_opening_angle(double theta) noexcept {
+  g_bh_theta.store(theta, std::memory_order_relaxed);
+}
+
+double bh_opening_angle() noexcept {
+  return g_bh_theta.load(std::memory_order_relaxed);
 }
 
 void set_default_force_kernel(ForceKernel kind) noexcept {
@@ -109,6 +129,7 @@ ForceKernel resolve_force_kernel(ForceKernel kind, std::size_t targets,
   if (kind == ForceKernel::Auto) kind = default_force_kernel();
   if (kind != ForceKernel::Auto) return kind;
   if (targets * sources < kScalarPairCutoff) return ForceKernel::Scalar;
+  if (sources >= kTreeSourceCutoff) return ForceKernel::Tree;
   if (targets >= kMinTargetsForMT && kernel_pool().worker_count() > 0)
     return ForceKernel::TiledMT;
   return ForceKernel::Tiled;
@@ -123,6 +144,17 @@ void accumulate(ForceKernel kind, std::span<const Vec3> target_pos,
   kind = resolve_force_kernel(kind, target_pos.size(), src_pos.size());
 
   KernelMetrics& metrics = kernel_metrics();
+  if (kind == ForceKernel::Tree) {
+    // The tree kernel works on the AoS spans directly (it builds its own
+    // sorted SoA image) and reports evaluated interactions, the O(N log N)
+    // analogue of the pair count.
+    metrics.calls_tree.inc();
+    const std::size_t interactions =
+        bh_accumulate(target_pos, src_pos, src_mass, softening2, skip_offset,
+                      acc, bh_opening_angle());
+    metrics.pairs.inc(static_cast<std::uint64_t>(interactions));
+    return;
+  }
   metrics.pairs.inc(
       static_cast<std::uint64_t>(target_pos.size() * src_pos.size()));
 

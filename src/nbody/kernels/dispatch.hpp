@@ -2,14 +2,19 @@
 //
 // Call sites (forces.cpp, NBodyApp, the Fig. 7 baseline) pass Auto and get
 // the process default, settable from the command line via --kernel=
-// scalar|tiled|tiled-mt (drivers call set_default_force_kernel).  When the
-// default itself is Auto, a per-call heuristic picks:
+// scalar|tiled|tiled-mt|tree (drivers call set_default_force_kernel).  When
+// the default itself is Auto, a per-call heuristic picks:
 //   * scalar for tiny blocks (SoA conversion would dominate),
+//   * tree (Barnes-Hut, kernels/bh_tree.hpp) once the source block is large
+//     enough that O(N^2) stops being viable — note this tier is
+//     *approximate* (bounded by the θ error model; see bh_tree.hpp), the
+//     price of reaching N in 10^5..10^6,
 //   * tiled-mt for large target counts when the shared pool has workers,
 //   * tiled otherwise.
 // The heuristic depends only on block sizes and pool configuration — never
 // on data or timing — so kernel selection is deterministic for a given
-// process configuration.
+// process configuration.  Runs that need exact forces at any size pin
+// --kernel=tiled (or tiled-mt).
 #pragma once
 
 #include <optional>
@@ -24,11 +29,17 @@ class ThreadPool;
 
 namespace specomp::nbody::kernels {
 
-enum class ForceKernel { Auto, Scalar, Tiled, TiledMT };
+enum class ForceKernel { Auto, Scalar, Tiled, TiledMT, Tree };
 
-/// "auto" | "scalar" | "tiled" | "tiled-mt" (nullopt otherwise).
+/// "auto" | "scalar" | "tiled" | "tiled-mt" | "tree" (nullopt otherwise).
 std::optional<ForceKernel> parse_force_kernel(std::string_view name) noexcept;
 std::string_view force_kernel_name(ForceKernel kind) noexcept;
+
+/// Barnes-Hut opening angle θ used when the Tree kernel runs (CLI
+/// --bh-theta; default 0.5).  Process-wide, like the kernel default — the
+/// tree kernel's accuracy/speed knob.
+void set_bh_opening_angle(double theta) noexcept;
+double bh_opening_angle() noexcept;
 
 /// Process-wide default applied when call sites pass Auto (CLI --kernel).
 void set_default_force_kernel(ForceKernel kind) noexcept;

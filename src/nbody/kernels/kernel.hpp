@@ -1,7 +1,9 @@
 // Force-kernel implementations behind the dispatch layer.
 //
-// Three kernels share one contract — "add to acc the accelerations the
-// source block exerts on each target, skipping self-pairs per skip_offset":
+// The exact kernels share one contract — "add to acc the accelerations the
+// source block exerts on each target, skipping self-pairs per skip_offset"
+// (the approximate Barnes-Hut kernel lives in bh_tree.hpp with the same
+// contract plus an opening-angle parameter):
 //
 //   * scalar     — the pre-dispatch AoS double loop, unchanged.  It is the
 //                  oracle: the tiled kernels are validated against it to a

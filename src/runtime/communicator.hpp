@@ -28,6 +28,7 @@
 #include "net/message.hpp"
 #include "net/serialization.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/collective_algo.hpp"
 #include "runtime/phase_timer.hpp"
 
 namespace specomp::runtime {
@@ -93,6 +94,13 @@ class Communicator {
   PhaseTimer& timer() noexcept { return timer_; }
   const PhaseTimer& timer() const noexcept { return timer_; }
 
+  /// Collective-algorithm preference this endpoint was configured with
+  /// (SimConfig::collective / ThreadConfig::collective).  The collectives in
+  /// runtime/collectives.hpp resolve their Auto default through it, and the
+  /// backends use it to pick their barrier implementation.
+  CollectiveAlgo collective_algo() const noexcept { return collective_; }
+  void set_collective_algo(CollectiveAlgo algo) noexcept { collective_ = algo; }
+
   // ---- Convenience helpers ----
 
   void send_doubles(net::Rank dst, int tag, std::span<const double> values) {
@@ -140,6 +148,7 @@ class Communicator {
   }
 
   PhaseTimer timer_;
+  CollectiveAlgo collective_ = CollectiveAlgo::Auto;
 
  private:
   obs::CounterRef metric_msgs_sent_;

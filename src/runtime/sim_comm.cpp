@@ -8,6 +8,7 @@
 
 #include "net/buffer_pool.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/collectives.hpp"
 #include "runtime/hb_check.hpp"
 #include "support/contracts.hpp"
 
@@ -229,6 +230,7 @@ SimCommunicator::SimCommunicator(SimWorld& world, net::Rank rank)
     : world_(world),
       rank_(rank),
       mailbox_(world.num_ranks(), world.delivery_order()) {
+  set_collective_algo(world.config().collective);
   if (const FaultPlan* fault = world.fault())
     crash_at_seconds_ = fault->crash_time(rank);
 }
@@ -535,6 +537,15 @@ net::Message SimCommunicator::recv_any(int tag) {
 
 void SimCommunicator::barrier() {
   maybe_crash();
+  // Tree: a dissemination barrier made of real messages, so the
+  // synchronisation itself costs send overhead and channel delays (and shows
+  // up in traces).  Flat: the kernel-level primitive — instantaneous, the
+  // pre-existing behaviour.
+  if (resolve_collective_algo(collective_algo(), world_.num_ranks()) ==
+      CollectiveAlgo::Tree) {
+    dissemination_barrier(*this, kBarrierTag);
+    return;
+  }
   world_.barrier_arrive(*this);
 }
 

@@ -52,6 +52,12 @@ struct SimConfig {
   /// (see runtime/fault.hpp).  nullptr = fault-free; the hot paths then pay
   /// a single pointer test.
   FaultPlanPtr fault;
+  /// Collective-algorithm preference for this run: resolves the Auto default
+  /// of runtime/collectives.hpp calls and selects the barrier
+  /// implementation (Flat = zero-cost world barrier; Tree = dissemination
+  /// barrier over real messages).  Auto defers to the process default /
+  /// size heuristic (see runtime/collective_algo.hpp).
+  CollectiveAlgo collective = CollectiveAlgo::Auto;
 };
 
 struct SimResult {

@@ -6,6 +6,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "runtime/collectives.hpp"
 #include "runtime/hb_check.hpp"
 #include "runtime/mailbox.hpp"
 #include "support/contracts.hpp"
@@ -168,6 +169,7 @@ class ThreadWorld {
 
 ThreadCommunicator::ThreadCommunicator(ThreadWorld& world, net::Rank rank)
     : world_(world), rank_(rank) {
+  set_collective_algo(world.config().collective);
   if (const FaultPlan* fault = world.fault())
     crash_at_seconds_ = fault->crash_time(rank);
 }
@@ -359,7 +361,17 @@ net::Message ThreadCommunicator::recv_any(int tag) {
   return msg;
 }
 
-void ThreadCommunicator::barrier() { world_.barrier_arrive(); }
+void ThreadCommunicator::barrier() {
+  // Same selection as the simulated backend: Tree runs the dissemination
+  // barrier over real messages (so its latency shape is observable here
+  // too), Flat keeps the condition-variable world barrier.
+  if (resolve_collective_algo(collective_algo(), world_.num_ranks()) ==
+      CollectiveAlgo::Tree) {
+    dissemination_barrier(*this, kBarrierTag);
+    return;
+  }
+  world_.barrier_arrive();
+}
 
 void ThreadCommunicator::compute(double ops, Phase phase) {
   SPEC_EXPECTS(ops >= 0.0);

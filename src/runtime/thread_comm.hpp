@@ -51,6 +51,10 @@ struct ThreadConfig {
   /// so causal *structure* is comparable with the simulated backend even
   /// though timings are hardware-dependent.
   bool record_trace = false;
+  /// Collective-algorithm preference for this run (same semantics as
+  /// SimConfig::collective): Auto resolution for collectives, and barrier()
+  /// runs the dissemination barrier when this resolves to Tree.
+  CollectiveAlgo collective = CollectiveAlgo::Auto;
 };
 
 struct ThreadResult {

@@ -1,0 +1,246 @@
+// Barnes-Hut kernel properties: accuracy against the scalar oracle across
+// opening angles (the documented error bounds of bh_tree.hpp), exact
+// self-exclusion at any θ, θ→0 degeneracy to the exact sum, call-to-call
+// determinism, and the dispatch layer's Tree tier.
+#include "nbody/kernels/bh_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "nbody/forces.hpp"
+#include "nbody/init.hpp"
+#include "nbody/kernels/dispatch.hpp"
+#include "nbody/kernels/kernel.hpp"
+
+namespace {
+
+using namespace specomp;
+using nbody::Vec3;
+using nbody::kernels::bh_accumulate;
+using nbody::kernels::ForceKernel;
+
+constexpr std::size_t kDisjoint = std::numeric_limits<std::size_t>::max();
+constexpr double kSoft2 = 1e-3;
+
+struct Block {
+  std::vector<Vec3> pos;
+  std::vector<double> mass;
+};
+
+Block make_block(std::size_t n, std::uint64_t seed) {
+  Block block;
+  block.pos.resize(n);
+  block.mass.resize(n);
+  const auto particles = nbody::init_plummer(n, seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    block.pos[i] = particles[i].pos;
+    block.mass[i] = particles[i].mass;
+  }
+  return block;
+}
+
+std::vector<Vec3> scalar_reference(const Block& targets, const Block& sources,
+                                   std::size_t skip_offset) {
+  std::vector<Vec3> acc(targets.pos.size());
+  nbody::kernels::scalar_accumulate(targets.pos, sources.pos, sources.mass,
+                                    kSoft2, skip_offset, acc);
+  return acc;
+}
+
+std::vector<Vec3> bh(const Block& targets, const Block& sources,
+                     std::size_t skip_offset, double theta) {
+  std::vector<Vec3> acc(targets.pos.size());
+  bh_accumulate(targets.pos, sources.pos, sources.mass, kSoft2, skip_offset,
+                acc, theta);
+  return acc;
+}
+
+/// max_i |a - a_ref| / rms_i |a_ref| — the error metric the bound in
+/// bh_tree.hpp is stated in.
+double max_relative_error(const std::vector<Vec3>& got,
+                          const std::vector<Vec3>& ref) {
+  double max_err = 0.0;
+  double sum2 = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const Vec3 d = got[i] - ref[i];
+    max_err = std::max(max_err, std::sqrt(d.norm2()));
+    sum2 += ref[i].norm2();
+  }
+  const double rms = std::sqrt(sum2 / static_cast<double>(ref.size()));
+  return max_err / rms;
+}
+
+TEST(BhKernel, MeetsDocumentedErrorBoundAcrossTheta) {
+  // The bounds pinned in bh_tree.hpp's header comment.  If the kernel
+  // changes and these fail, the documentation must move with the code.
+  const struct {
+    double theta;
+    double bound;
+  } kCases[] = {{0.3, 5e-3}, {0.5, 2.5e-2}, {0.8, 1.5e-1}};
+  const Block body = make_block(4096, 77);
+  const auto ref = scalar_reference(body, body, 0);
+  for (const auto& c : kCases) {
+    const auto got = bh(body, body, 0, c.theta);
+    const double err = max_relative_error(got, ref);
+    EXPECT_LT(err, c.bound) << "theta=" << c.theta;
+    EXPECT_GT(err, 0.0) << "theta=" << c.theta
+                        << " (an exact match means cells never accepted — "
+                           "the tree is not approximating)";
+  }
+}
+
+TEST(BhKernel, ErrorShrinksMonotonicallyWithTheta) {
+  const Block body = make_block(2048, 11);
+  const auto ref = scalar_reference(body, body, 0);
+  const double e08 = max_relative_error(bh(body, body, 0, 0.8), ref);
+  const double e05 = max_relative_error(bh(body, body, 0, 0.5), ref);
+  const double e03 = max_relative_error(bh(body, body, 0, 0.3), ref);
+  EXPECT_LT(e03, e05);
+  EXPECT_LT(e05, e08);
+}
+
+TEST(BhKernel, ThetaZeroDegeneratesToExactSum) {
+  // θ=0 accepts no cell (strict inequality), so every pair is evaluated at
+  // a leaf with the oracle's formula — only summation order differs.
+  const Block body = make_block(600, 5);
+  const auto ref = scalar_reference(body, body, 0);
+  const auto got = bh(body, body, 0, 0.0);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(got[i].x, ref[i].x, 1e-10);
+    EXPECT_NEAR(got[i].y, ref[i].y, 1e-10);
+    EXPECT_NEAR(got[i].z, ref[i].z, 1e-10);
+  }
+}
+
+TEST(BhKernel, SelfExclusionExactAtAnyTheta) {
+  // Give one body an absurd mass: if its own contribution leaked into its
+  // acceleration (softened distance ~eps), the error would be ~m/eps^2 —
+  // unmissable.  The contains-self descent rule must hold even at θ large
+  // enough to accept whole subtrees.
+  Block body = make_block(512, 23);
+  body.mass[100] = 1e6;
+  const auto ref = scalar_reference(body, body, 0);
+  const auto got = bh(body, body, 0, 0.8);
+  const Vec3 d = got[100] - ref[100];
+  const double ref_mag = std::sqrt(ref[100].norm2());
+  EXPECT_LT(std::sqrt(d.norm2()), 0.1 * ref_mag + 1e6 * 0.05);
+  // Sharper: the self term would be ~1e6/kSoft2 = 1e9; assert nothing of
+  // that magnitude appeared.
+  EXPECT_LT(std::sqrt(got[100].norm2()), 1e7);
+}
+
+TEST(BhKernel, DisjointBlocksAndThinTargetSlices) {
+  // Slice-mode shape (the parallel app's per-rank call): a few targets, a
+  // big disjoint source block, skip_offset = SIZE_MAX.
+  const Block sources = make_block(3000, 31);
+  Block targets;
+  targets.pos.assign(sources.pos.begin() + 500, sources.pos.begin() + 540);
+  targets.mass.assign(sources.mass.begin() + 500,
+                      sources.mass.begin() + 540);
+  // Disjoint contract: the overlapping positions interact with themselves
+  // through the softened kernel, exactly as the oracle does.
+  const auto ref = scalar_reference(targets, sources, kDisjoint);
+  const auto got = bh(targets, sources, kDisjoint, 0.3);
+  EXPECT_LT(max_relative_error(got, ref), 2e-2);
+  // Offset contract: target i is source i+500, self-pairs skipped.
+  const auto ref_off = scalar_reference(targets, sources, 500);
+  const auto got_off = bh(targets, sources, 500, 0.3);
+  EXPECT_LT(max_relative_error(got_off, ref_off), 2e-2);
+}
+
+TEST(BhKernel, DeterministicAcrossCallsAndAccumulates) {
+  const Block body = make_block(1500, 99);
+  const auto a = bh(body, body, 0, 0.5);
+  const auto b = bh(body, body, 0, 0.5);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(Vec3)));
+
+  // Coincident bodies: the original-index tie-break keeps the order (and
+  // the bits) pinned.
+  Block coincident = make_block(200, 1);
+  for (std::size_t i = 0; i < 64; ++i) coincident.pos[i] = {0.25, 0.25, 0.25};
+  const auto c1 = bh(coincident, coincident, 0, 0.5);
+  const auto c2 = bh(coincident, coincident, 0, 0.5);
+  EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(Vec3)));
+}
+
+TEST(BhKernel, AccumulateAddsIntoExistingValues) {
+  const Block body = make_block(300, 3);
+  std::vector<Vec3> acc(body.pos.size(), Vec3{1.0, -2.0, 3.0});
+  bh_accumulate(body.pos, body.pos, body.mass, kSoft2, 0, acc, 0.5);
+  std::vector<Vec3> fresh(body.pos.size());
+  bh_accumulate(body.pos, body.pos, body.mass, kSoft2, 0, fresh, 0.5);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    EXPECT_DOUBLE_EQ(acc[i].x, fresh[i].x + 1.0);
+    EXPECT_DOUBLE_EQ(acc[i].y, fresh[i].y - 2.0);
+    EXPECT_DOUBLE_EQ(acc[i].z, fresh[i].z + 3.0);
+  }
+}
+
+TEST(BhKernel, EmptyAndTinyInputs) {
+  std::vector<Vec3> acc;
+  EXPECT_EQ(bh_accumulate({}, {}, {}, kSoft2, kDisjoint, acc, 0.5), 0u);
+  const Block one = make_block(1, 7);
+  std::vector<Vec3> acc1(1);
+  // Single body, self-skipped: no interactions, zero acceleration.
+  EXPECT_EQ(
+      bh_accumulate(one.pos, one.pos, one.mass, kSoft2, 0, acc1, 0.5), 0u);
+  EXPECT_DOUBLE_EQ(acc1[0].x, 0.0);
+}
+
+TEST(BhKernel, InteractionCountIsSubquadratic) {
+  const Block body = make_block(8192, 13);
+  std::vector<Vec3> acc(body.pos.size());
+  const std::size_t interactions =
+      bh_accumulate(body.pos, body.pos, body.mass, kSoft2, 0, acc, 0.5);
+  const std::size_t n = body.pos.size();
+  EXPECT_LT(interactions, n * n / 4) << "tree is not pruning";
+  EXPECT_GE(interactions, n);  // every target saw at least something
+}
+
+TEST(BhDispatch, TreeTierAndKnobs) {
+  using nbody::kernels::parse_force_kernel;
+  using nbody::kernels::resolve_force_kernel;
+  EXPECT_EQ(parse_force_kernel("tree"), ForceKernel::Tree);
+  EXPECT_EQ(nbody::kernels::force_kernel_name(ForceKernel::Tree), "tree");
+
+  // Auto escalates to Tree on big source blocks (any target count), keeps
+  // the exact tiers below the cutoff.
+  EXPECT_EQ(resolve_force_kernel(ForceKernel::Auto, 100, 40000),
+            ForceKernel::Tree);
+  EXPECT_EQ(resolve_force_kernel(ForceKernel::Auto, 500000, 40000),
+            ForceKernel::Tree);
+  EXPECT_NE(resolve_force_kernel(ForceKernel::Auto, 1000, 2000),
+            ForceKernel::Tree);
+  EXPECT_EQ(resolve_force_kernel(ForceKernel::Auto, 4, 8),
+            ForceKernel::Scalar);
+  // An explicit kernel always wins.
+  EXPECT_EQ(resolve_force_kernel(ForceKernel::Tiled, 100, 400000),
+            ForceKernel::Tiled);
+
+  // θ knob round-trips and steers accuracy through the dispatch path.
+  const double prev = nbody::kernels::bh_opening_angle();
+  nbody::kernels::set_bh_opening_angle(0.3);
+  EXPECT_DOUBLE_EQ(nbody::kernels::bh_opening_angle(), 0.3);
+
+  const Block body = make_block(2048, 55);
+  std::vector<Vec3> ref(body.pos.size());
+  nbody::kernels::scalar_accumulate(body.pos, body.pos, body.mass, kSoft2, 0,
+                                    ref);
+  std::vector<Vec3> acc(body.pos.size());
+  nbody::kernels::accumulate(ForceKernel::Tree, body.pos, body.pos, body.mass,
+                             kSoft2, 0, acc);
+  EXPECT_LT(max_relative_error(acc, ref), 2e-3);
+  // And it matches a direct bh_accumulate call at the same θ bit-for-bit.
+  const auto direct = bh(body, body, 0, 0.3);
+  EXPECT_EQ(0,
+            std::memcmp(acc.data(), direct.data(), acc.size() * sizeof(Vec3)));
+
+  nbody::kernels::set_bh_opening_angle(prev);
+}
+
+}  // namespace

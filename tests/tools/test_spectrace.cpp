@@ -6,13 +6,17 @@
 // fixture-test comment below) when the analysis intentionally changes.
 #include "spectrace_core.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
 #include "obs/trace_export.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/sim_comm.hpp"
 
 namespace {
 
@@ -270,6 +274,69 @@ TEST(SpectracePropagation, FloodsMessageEdgesInHopOrder) {
   EXPECT_EQ(r.infections[2].hops, 2);
   // 2 lanes beyond the anchor over 12-5=7 virtual seconds.
   EXPECT_NEAR(r.front_speed_lanes_per_s, 2.0 / 7.0, 1e-12);
+}
+
+// ---- collective hops in the causal record ----------------------------------
+
+// End-to-end: a tree allreduce run under record_trace lands its per-round
+// Send/Recv hops in the causal record, and critical_path() attributes the
+// wait they induce — a slow rank entering the collective late is blamed by
+// the ranks that stalled in its exchange rounds.
+TEST(SpectraceCollective, TreeAllreduceHopsDriveCriticalPathAttribution) {
+  using namespace specomp::runtime;
+  constexpr int kP = 12;
+  constexpr int kTag = 4200;
+  constexpr int kSlow = 5;
+
+  SimConfig config;
+  config.cluster = Cluster::homogeneous(kP, 1e6);
+  config.shared_medium = false;
+  config.record_trace = true;
+  config.collective = CollectiveAlgo::Tree;
+  const SimResult result = run_simulated(config, [&](Communicator& comm) {
+    if (comm.rank() == kSlow) comm.compute(5e6);  // ~5 virtual seconds late
+    const double sum =
+        allreduce_sum(comm, static_cast<double>(comm.rank()), kTag);
+    EXPECT_DOUBLE_EQ(sum, kP * (kP - 1) / 2.0);
+  });
+
+  std::ostringstream os;
+  specomp::obs::write_trace_jsonl(result.trace, os);
+  const ParsedTrace t = parse(os.str());
+  EXPECT_TRUE(spectrace::self_check(t).ok);
+  ASSERT_EQ(t.lanes, static_cast<std::uint64_t>(kP));
+
+  // Recursive doubling at p=12: p2=8, rem=4 ⇒ 4 park sends + 8·log2(8)
+  // round sends + 4 result sends = 32 messages, each a Send/Recv hop pair
+  // in the causal record under the collective's tag.
+  std::size_t sends = 0;
+  std::size_t recvs = 0;
+  for (const CausalRec& c : t.causal) {
+    if (c.tag != kTag) continue;
+    if (c.kind == CausalKind::Send) ++sends;
+    if (c.kind == CausalKind::Recv) ++recvs;
+  }
+  EXPECT_EQ(sends, 32u);
+  EXPECT_EQ(recvs, 32u);
+
+  // The slow rank's lateness propagates through the exchange rounds: summed
+  // over all ranks, no peer is blamed for more blocked time than the slow
+  // rank, and the makespan lane's blocked-on chain reaches it.
+  const auto report = spectrace::critical_path(t);
+  std::map<int, double> blame;
+  for (const auto& rank : report.ranks) {
+    for (const auto& [peer, seconds] : rank.waited_on) blame[peer] += seconds;
+  }
+  ASSERT_FALSE(blame.empty());
+  const auto top = std::max_element(
+      blame.begin(), blame.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  EXPECT_EQ(top->first, kSlow);
+  EXPECT_GT(top->second, 1.0);  // seconds of induced wait, not noise
+  EXPECT_NE(std::find(report.chain.begin(), report.chain.end(),
+                      static_cast<std::uint64_t>(kSlow)),
+            report.chain.end())
+      << "blocked-on chain never reached the slow rank";
 }
 
 // ---- fixture byte-identity -------------------------------------------------

@@ -45,10 +45,13 @@ const std::vector<RuleSpec> kRules = {
      "std::function/std::bind in a DES hot-path header (regresses the "
      "allocation-free event arena; use des::EventFn or a template parameter)",
      // Trace/distribution emission sits on the send/recv/compute hot paths,
-     // so its headers get the same no-type-erased-callables discipline.
+     // so its headers get the same no-type-erased-callables discipline, as
+     // do the collectives (every hop is a hot-path send/recv) and the force
+     // kernels (the per-pair inner loops).
      // (runtime/communicator.hpp stays out: RankBody is std::function by
      // design — it is invoked once per rank, not per event.)
-     {"src/des/", "src/obs/dist_sketch", "src/obs/trace_export"},
+     {"src/des/", "src/obs/dist_sketch", "src/obs/trace_export",
+      "src/runtime/collective", "src/nbody/kernels/"},
      {},
      true},
     {"unordered-iter",
