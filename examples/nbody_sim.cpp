@@ -11,6 +11,7 @@
 
 #include "nbody/energy.hpp"
 #include "nbody/init.hpp"
+#include "nbody/integrators/integrator.hpp"
 #include "nbody/kernels/dispatch.hpp"
 #include "nbody/scenario.hpp"
 #include "obs/artifacts.hpp"
@@ -67,16 +68,31 @@ int main(int argc, char** argv) {
         std::make_shared<const runtime::FaultPlan>(std::move(fault_config));
     s.graceful_degradation = true;
   }
+  // --kernel and --bh-theta fail fast: a silently ignored tier (or an
+  // opening angle that cannot influence the forced kernel) would taint a
+  // whole measurement campaign.
   const std::string kernel_arg = cli.get("kernel", "auto");
-  if (const auto kernel = kernels::parse_force_kernel(kernel_arg))
-    kernels::set_default_force_kernel(*kernel);
-  else
+  std::string cli_error;
+  const auto kernel = kernels::parse_force_kernel_cli(kernel_arg, cli_error);
+  if (!kernel) {
+    std::fprintf(stderr, "error: %s\n", cli_error.c_str());
+    return 1;
+  }
+  kernels::set_default_force_kernel(*kernel);
+  if (cli.has("bh-theta") && !kernels::kernel_uses_bh_theta(*kernel)) {
     std::fprintf(stderr,
-                 "warning: unknown --kernel '%s' (want auto|scalar|tiled|"
-                 "tiled-mt|tree); keeping auto\n",
+                 "error: --bh-theta only affects the Barnes-Hut tier, but "
+                 "--kernel=%s never runs it (use --kernel=tree or auto)\n",
                  kernel_arg.c_str());
+    return 1;
+  }
   kernels::set_bh_opening_angle(
       cli.get_double("bh-theta", kernels::bh_opening_angle()));
+  s.body.integrator = cli.get("integrator", s.body.integrator);
+  if (!integrators::make_integrator_cli(s.body.integrator, cli_error)) {
+    std::fprintf(stderr, "error: %s\n", cli_error.c_str());
+    return 1;
+  }
   const std::string collective_arg = cli.get("collective", "auto");
   if (const auto algo = runtime::parse_collective_algo(collective_arg)) {
     runtime::set_default_collective_algo(*algo);
@@ -183,6 +199,7 @@ int main(int argc, char** argv) {
   report.extra.set("force_kernel",
                    obs::Json(std::string(kernels::force_kernel_name(
                        kernels::default_force_kernel()))));
+  report.extra.set("integrator", obs::Json(s.body.integrator));
   report.extra.set("collective",
                    obs::Json(std::string(runtime::collective_algo_name(
                        runtime::resolve_collective_algo(

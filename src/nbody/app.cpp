@@ -23,6 +23,29 @@ void unpack_into(std::span<const double> block, std::span<Vec3> pos,
 
 }  // namespace
 
+/// ForceModel over the app's state: installs candidate local positions
+/// into the authoritative window of pos_ (peers stay as-installed), then
+/// runs the dispatched force kernel exactly as the original compute_step
+/// did.  When the candidate span *is* the window (the leapfrog path), no
+/// copy happens and the call is bit-identical to the pre-integrator code.
+class NBodyApp::WindowForce final : public integrators::ForceModel {
+ public:
+  explicit WindowForce(NBodyApp& app) : app_(app) {}
+
+  void eval(std::span<const Vec3> local_pos, std::span<Vec3> acc) override {
+    NBodyApp& a = app_;
+    const std::span<Vec3> window(a.pos_.data() + a.lo_, a.count_);
+    if (local_pos.data() != window.data())
+      std::copy(local_pos.begin(), local_pos.end(), window.begin());
+    std::fill(acc.begin(), acc.end(), Vec3{});
+    accumulate_accelerations(window, a.pos_, a.mass_, a.config_.softening2,
+                             a.lo_, acc);
+  }
+
+ private:
+  NBodyApp& app_;
+};
+
 std::vector<double> KinematicSpeculator::predict(const spec::History& history,
                                                  int steps) const {
   SPEC_EXPECTS(!history.empty());
@@ -65,6 +88,9 @@ NBodyApp::NBodyApp(const NBodyConfig& config, const Partition& partition,
   acc_.assign(count_, Vec3{});
   prev_pos_.assign(count_, Vec3{});
   prev_vel_.assign(count_, Vec3{});
+  integrator_ = integrators::make_integrator(config.integrator);
+  SPEC_EXPECTS(integrator_ != nullptr);  // drivers validate --integrator
+  linear_correction_ = config.integrator == "leapfrog";
 }
 
 std::size_t NBodyApp::peer_lo(int peer) const {
@@ -104,16 +130,19 @@ void NBodyApp::compute_step() {
   const std::span<Vec3> local_vel(vel_.data() + lo_, count_);
   std::copy(local_pos.begin(), local_pos.end(), prev_pos_.begin());
   std::copy(local_vel.begin(), local_vel.end(), prev_vel_.begin());
-  acc_.assign(count_, Vec3{});
-  accumulate_accelerations(local_pos, pos_, mass_, config_.softening2, lo_,
-                           acc_);
-  euler_step(local_pos, local_vel, acc_, config_.dt);
+  WindowForce force(*this);
+  force_evals_last_step_ =
+      integrator_->step(local_pos, local_vel, config_.dt, force, acc_);
 }
 
 double NBodyApp::compute_ops() const {
   const auto n = static_cast<double>(pos_.size());
   const auto n_i = static_cast<double>(count_);
-  return kOpsPerPairForce * n_i * (n - 1.0) + kOpsPerIntegration * n_i;
+  // Each integrator stage re-evaluates every local-remote (and local-local)
+  // pair; the engine reads this right after compute_step, so the count
+  // reflects the step just taken (rk45 bills rejected attempts too).
+  const auto evals = static_cast<double>(force_evals_last_step_);
+  return evals * kOpsPerPairForce * n_i * (n - 1.0) + kOpsPerIntegration * n_i;
 }
 
 double NBodyApp::speculation_error(int peer, std::span<const double> speculated,
@@ -177,6 +206,20 @@ bool NBodyApp::correct_last_step(int peer, std::span<const double> actual) {
   const std::size_t n_k = peer_count(peer);
   SPEC_EXPECTS(actual.size() == n_k * kDoublesPerParticle);
 
+  if (!linear_correction_) {
+    // Multi-stage integrators sample forces at intermediate positions that
+    // already absorbed the speculated data, so the two-pass linear patch
+    // below is not exact for them.  Install the actual peer state, rewind
+    // the local block to its pre-step state and redo the step; correct_ops
+    // reads the resulting force_evals_last_step_, billing the full
+    // recompute (the honest price — see DESIGN.md §11).
+    install_peer(peer, actual);
+    std::copy(prev_pos_.begin(), prev_pos_.end(), pos_.begin() + lo_);
+    std::copy(prev_vel_.begin(), prev_vel_.end(), vel_.begin() + lo_);
+    compute_step();
+    return true;
+  }
+
   // The speculated positions are still installed in the view; diff their
   // contribution against the actual one on the pre-update local positions.
   std::vector<Vec3> act_p(n_k);
@@ -205,6 +248,11 @@ bool NBodyApp::correct_last_step(int peer, std::span<const double> actual) {
 }
 
 double NBodyApp::correct_ops(int peer) const {
+  if (!linear_correction_) {
+    // Full step recompute (correct_last_step re-ran compute_step, and the
+    // engine reads this immediately after it).
+    return compute_ops();
+  }
   const auto n_k = static_cast<double>(peer_count(peer));
   const auto n_i = static_cast<double>(count_);
   // Two force passes (subtract speculated, add actual) plus the re-update.

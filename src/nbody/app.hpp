@@ -2,8 +2,9 @@
 //
 // NBodyApp provides the application half of the Figure-3 algorithm:
 //   * blocks are (position, velocity) pairs of a rank's particles;
-//   * compute_step is the O(N_i * N) force accumulation + explicit Euler
-//     update;
+//   * compute_step is the O(N_i * N) force accumulation + time integration
+//     (NBodyConfig::integrator picks the scheme from nbody/integrators/;
+//     the default "leapfrog" is the paper's kick-drift update);
 //   * the speculation error is the paper's eq. 11 ratio of position error to
 //     distance-to-local-particles;
 //   * correct_last_step is the paper's cheap correction: subtract the pair
@@ -14,9 +15,11 @@
 // r*(t) = r(t-1) + v(t-1) dt, velocity held constant.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "nbody/integrators/integrator.hpp"
 #include "nbody/types.hpp"
 #include "spec/app.hpp"
 #include "spec/speculator.hpp"
@@ -83,7 +86,16 @@ class NBodyApp final : public spec::SyncIterativeApp {
 
   std::size_t local_count() const noexcept { return count_; }
 
+  /// Force evaluations performed by the most recent compute_step (1 for
+  /// leapfrog; 4 for rk4; 6 per attempted substep for rk45) — what
+  /// compute_ops bills, so multi-stage integrators cost honest virtual time.
+  std::size_t force_evals_last_step() const noexcept {
+    return force_evals_last_step_;
+  }
+
  private:
+  class WindowForce;
+
   std::span<const Vec3> peer_positions(int peer) const;
   std::size_t peer_lo(int peer) const;
   std::size_t peer_count(int peer) const;
@@ -100,6 +112,13 @@ class NBodyApp final : public spec::SyncIterativeApp {
   std::vector<Vec3> acc_;            // last step's local accelerations
   std::vector<Vec3> prev_pos_;       // local state before the last update
   std::vector<Vec3> prev_vel_;
+
+  std::unique_ptr<integrators::Integrator> integrator_;
+  /// True for the kick-drift integrator, whose update is linear in the
+  /// accelerations: only then is the paper's cheap two-pass correction
+  /// exact, so other integrators recompute the step on rejection.
+  bool linear_correction_ = true;
+  std::size_t force_evals_last_step_ = 1;
 
   bool measure_force_error_ = false;
   double accept_threshold_ = 1e300;  // default: measure every speculation

@@ -1,0 +1,25 @@
+#include "nbody/integrators/integrator.hpp"
+
+namespace specomp::nbody::integrators {
+
+std::unique_ptr<Integrator> make_integrator(std::string_view name) {
+  if (name == "leapfrog") return make_leapfrog();
+  if (name == "rk4") return make_rk4();
+  if (name == "rk45") return make_rk45(kRk45DefaultTol);
+  return nullptr;
+}
+
+std::string_view integrator_names() noexcept { return "leapfrog|rk4|rk45"; }
+
+std::unique_ptr<Integrator> make_integrator_cli(std::string_view name,
+                                               std::string& error) {
+  if (auto integ = make_integrator(name)) return integ;
+  error = "unknown --integrator '";
+  error += name;
+  error += "' (valid: ";
+  error += integrator_names();
+  error += ")";
+  return nullptr;
+}
+
+}  // namespace specomp::nbody::integrators

@@ -1,0 +1,88 @@
+// Pluggable time integrators for the N-body application (--integrator=).
+//
+// The speculation engine is integrator-agnostic: SyncIterativeApp only asks
+// for "advance the local block one dt".  What changes with the integrator is
+// (a) how many force evaluations one step costs — which the app must bill
+// into compute_ops so the paper's virtual-time model stays honest — and
+// (b) whether the cheap linear correction of Section 5 is exact.  The
+// kick-drift update is linear in the accelerations, so a mispredicted
+// peer's contribution can be patched by two partial force passes; a
+// multi-stage integrator samples forces at intermediate positions that
+// themselves depend on the speculated data, so the app falls back to a full
+// recompute on rejection (see NBodyApp::correct_last_step and DESIGN.md
+// §11).
+//
+// Determinism contract: every integrator here is deterministic — stage
+// order is fixed, and the adaptive controller (rk45) decides step splits
+// from the state alone (no wall clock, no randomness), so a run is
+// reproducible bit-for-bit for a fixed kernel tier.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "nbody/types.hpp"
+
+namespace specomp::nbody::integrators {
+
+/// Force oracle handed to Integrator::step.  `eval` overwrites `acc` with
+/// the accelerations of the local block evaluated at candidate positions
+/// `local_pos` (peer positions, masses and softening are captured by the
+/// implementation).  Each call is one full force evaluation — integrators
+/// must report how many they made.
+class ForceModel {
+ public:
+  virtual ~ForceModel() = default;
+  virtual void eval(std::span<const Vec3> local_pos, std::span<Vec3> acc) = 0;
+};
+
+class Integrator {
+ public:
+  virtual ~Integrator() = default;
+
+  /// Advances (pos, vel) in place by one dt using `force`.  `acc_out` is
+  /// overwritten with the accelerations at the *initial* positions (the
+  /// first stage's evaluation) — the app keeps them for the correction
+  /// patch and the force-error instrumentation.  Returns the number of
+  /// ForceModel::eval calls made (>= 1).
+  virtual std::size_t step(std::span<Vec3> pos, std::span<Vec3> vel, double dt,
+                           ForceModel& force, std::span<Vec3> acc_out) = 0;
+
+  virtual std::string_view name() const noexcept = 0;
+};
+
+/// Kick-drift update extracted verbatim from the original compute_step path
+/// (forces.hpp euler_step): one force evaluation, bit-identical to the
+/// pre-integrator-subsystem code.  This is the oracle the others are
+/// validated against and the only integrator with an exact cheap correction.
+std::unique_ptr<Integrator> make_leapfrog();
+
+/// Classical 4th-order Runge-Kutta: four force evaluations per step.
+std::unique_ptr<Integrator> make_rk4();
+
+/// Embedded Fehlberg 4(5) pair with deterministic step control: six force
+/// evaluations per attempt; when the embedded error estimate exceeds `tol`
+/// the whole dt is retried as 2^k equal substeps (k grows until every
+/// substep passes, capped), so the split depends only on the state.
+std::unique_ptr<Integrator> make_rk45(double tol);
+
+/// Default rk45 tolerance (see make_rk45).
+inline constexpr double kRk45DefaultTol = 1e-8;
+
+/// "leapfrog" | "rk4" | "rk45" -> instance (nullopt-equivalent nullptr on
+/// unknown names; drivers should fail fast via make_integrator_cli).
+std::unique_ptr<Integrator> make_integrator(std::string_view name);
+
+/// Every valid --integrator value, "|"-separated, for driver errors.
+std::string_view integrator_names() noexcept;
+
+/// Driver-facing construction: unknown names yield nullptr and fill `error`
+/// with a message listing the valid integrators.
+std::unique_ptr<Integrator> make_integrator_cli(std::string_view name,
+                                               std::string& error);
+
+}  // namespace specomp::nbody::integrators

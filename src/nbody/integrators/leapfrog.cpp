@@ -1,0 +1,31 @@
+// The original compute_step integrator, unchanged: one force evaluation at
+// the current positions, then the semi-implicit (kick-drift) update of
+// forces.hpp euler_step.  Serves as the bit-identical oracle for the
+// integrator subsystem — NBodyApp with --integrator=leapfrog must reproduce
+// the pre-subsystem trajectory exactly.
+#include "nbody/forces.hpp"
+#include "nbody/integrators/integrator.hpp"
+
+namespace specomp::nbody::integrators {
+
+namespace {
+
+class Leapfrog final : public Integrator {
+ public:
+  std::size_t step(std::span<Vec3> pos, std::span<Vec3> vel, double dt,
+                   ForceModel& force, std::span<Vec3> acc_out) override {
+    force.eval(pos, acc_out);
+    euler_step(pos, vel, acc_out, dt);
+    return 1;
+  }
+
+  std::string_view name() const noexcept override { return "leapfrog"; }
+};
+
+}  // namespace
+
+std::unique_ptr<Integrator> make_leapfrog() {
+  return std::make_unique<Leapfrog>();
+}
+
+}  // namespace specomp::nbody::integrators

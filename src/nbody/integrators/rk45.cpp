@@ -1,0 +1,145 @@
+// Embedded Fehlberg 4(5) pair with deterministic step control.
+//
+// Each attempt runs the six-stage RKF tableau on the coupled (r, v) system
+// and advances with the 5th-order weights (local extrapolation); the
+// 4th/5th-order difference gives the local error estimate.  The controller
+// is deliberately NOT the usual continuous step-size PI loop: that couples
+// the step sequence to floating-point noise in the estimate, which would
+// make trajectories fragile across kernels.  Instead the whole dt is
+// retried as 2^k equal substeps — k grows until every substep's scaled
+// error is within tol (capped at kMaxHalvings, then the result is accepted
+// as-is).  The split therefore depends only on the state, never on timing
+// or randomness, and all evaluations of failed attempts are reported in the
+// returned count so the app bills them into virtual time.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nbody/integrators/integrator.hpp"
+#include "support/contracts.hpp"
+
+namespace specomp::nbody::integrators {
+
+namespace {
+
+// Fehlberg coefficients (Butcher tableau, row-major lower triangle).
+constexpr double kA[6][5] = {
+    {},
+    {1.0 / 4.0},
+    {3.0 / 32.0, 9.0 / 32.0},
+    {1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0},
+    {439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0},
+    {-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0},
+};
+constexpr double kB5[6] = {16.0 / 135.0,     0.0,        6656.0 / 12825.0,
+                           28561.0 / 56430.0, -9.0 / 50.0, 2.0 / 55.0};
+constexpr double kB4[6] = {25.0 / 216.0, 0.0,  1408.0 / 2565.0,
+                           2197.0 / 4104.0, -1.0 / 5.0, 0.0};
+
+/// 2^8 = 256 substeps of the engine dt is already far below any sensible
+/// step size; past this the result is accepted rather than refined.
+constexpr int kMaxHalvings = 8;
+
+class Rk45 final : public Integrator {
+ public:
+  explicit Rk45(double tol) : tol_(tol) { SPEC_EXPECTS(tol > 0.0); }
+
+  std::size_t step(std::span<Vec3> pos, std::span<Vec3> vel, double dt,
+                   ForceModel& force, std::span<Vec3> acc_out) override {
+    const std::size_t n = pos.size();
+    r0_.assign(pos.begin(), pos.end());
+    v0_.assign(vel.begin(), vel.end());
+    r_.resize(n);
+    v_.resize(n);
+    rt_.resize(n);
+    for (auto& k : kr_) k.resize(n);
+    for (auto& k : kv_) k.resize(n);
+
+    std::size_t evals = 0;
+    for (int halvings = 0;; ++halvings) {
+      const std::size_t substeps = std::size_t{1} << halvings;
+      const bool last_resort = halvings == kMaxHalvings;
+      const double h = dt / static_cast<double>(substeps);
+      std::copy(r0_.begin(), r0_.end(), r_.begin());
+      std::copy(v0_.begin(), v0_.end(), v_.begin());
+      bool ok = true;
+      for (std::size_t s = 0; s < substeps; ++s) {
+        evals += 6;
+        const bool within_tol =
+            substep(h, force, s == 0 && halvings == 0 ? acc_out
+                                                      : std::span<Vec3>{});
+        if (!within_tol) {
+          ok = false;
+          // A failed substep aborts this attempt — except at the cap, where
+          // the remaining substeps still run so the returned state covers
+          // the whole dt (accepted as-is, tolerance notwithstanding).
+          if (!last_resort) break;
+        }
+      }
+      if (ok || last_resort) break;
+    }
+    std::copy(r_.begin(), r_.end(), pos.begin());
+    std::copy(v_.begin(), v_.end(), vel.begin());
+    // acc_out was filled by the very first stage of the first attempt (the
+    // accelerations at the initial positions — identical for every retry,
+    // since each attempt restarts from the same state).
+    return evals;
+  }
+
+  std::string_view name() const noexcept override { return "rk45"; }
+
+ private:
+  /// One tableau evaluation advancing (r_, v_) by h; returns whether the
+  /// scaled embedded error estimate is within tol.  When `first_acc` is
+  /// non-empty, stage 0's accelerations are copied into it.
+  bool substep(double h, ForceModel& force, std::span<Vec3> first_acc) {
+    const std::size_t n = r_.size();
+    for (std::size_t stage = 0; stage < 6; ++stage) {
+      for (std::size_t i = 0; i < n; ++i) {
+        Vec3 ri = r_[i];
+        Vec3 vi = v_[i];
+        for (std::size_t j = 0; j < stage; ++j) {
+          ri += (h * kA[stage][j]) * kr_[j][i];
+          vi += (h * kA[stage][j]) * kv_[j][i];
+        }
+        rt_[i] = ri;
+        kr_[stage][i] = vi;  // dr/dt at this stage
+      }
+      force.eval(rt_, kv_[stage]);
+      if (stage == 0 && !first_acc.empty())
+        std::copy(kv_[0].begin(), kv_[0].end(), first_acc.begin());
+    }
+
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Vec3 dr5, dv5, dr_err, dv_err;
+      for (std::size_t stage = 0; stage < 6; ++stage) {
+        dr5 += (h * kB5[stage]) * kr_[stage][i];
+        dv5 += (h * kB5[stage]) * kv_[stage][i];
+        dr_err += (h * (kB5[stage] - kB4[stage])) * kr_[stage][i];
+        dv_err += (h * (kB5[stage] - kB4[stage])) * kv_[stage][i];
+      }
+      const double rscale = tol_ * (1.0 + r_[i].norm());
+      const double vscale = tol_ * (1.0 + v_[i].norm());
+      worst = std::max(worst, dr_err.norm() / rscale);
+      worst = std::max(worst, dv_err.norm() / vscale);
+      r_[i] += dr5;
+      v_[i] += dv5;
+    }
+    return worst <= 1.0;
+  }
+
+  double tol_;
+  std::vector<Vec3> r0_, v0_;  // state at step entry (retries restart here)
+  std::vector<Vec3> r_, v_;    // working state across substeps
+  std::vector<Vec3> rt_;       // stage position scratch
+  std::vector<Vec3> kr_[6], kv_[6];
+};
+
+}  // namespace
+
+std::unique_ptr<Integrator> make_rk45(double tol) {
+  return std::make_unique<Rk45>(tol);
+}
+
+}  // namespace specomp::nbody::integrators

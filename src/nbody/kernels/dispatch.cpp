@@ -5,6 +5,7 @@
 
 #include "nbody/kernels/bh_tree.hpp"
 #include "nbody/kernels/kernel.hpp"
+#include "nbody/kernels/simd.hpp"
 #include "obs/metrics.hpp"
 #include "support/contracts.hpp"
 #include "support/thread_pool.hpp"
@@ -12,17 +13,6 @@
 namespace specomp::nbody::kernels {
 
 namespace {
-
-/// Below this many pair interactions the AoS->SoA staging is not worth it.
-constexpr std::size_t kScalarPairCutoff = 4096;
-/// tiled-mt needs enough target chunks to shard meaningfully.
-constexpr std::size_t kMinTargetsForMT = 4 * kTargetChunk;
-/// Auto escalates to Barnes-Hut at this many sources: far above every
-/// exact-path test and bench (so pre-existing runs keep bit-identical
-/// results), well below the 10^5..10^6 regime where O(N^2) stops being
-/// viable.  Any target count qualifies — the tree build is charged once per
-/// call and even a thin target slice amortises it at this N.
-constexpr std::size_t kTreeSourceCutoff = 32768;
 
 std::atomic<ForceKernel> g_default{ForceKernel::Auto};
 std::atomic<double> g_bh_theta{0.5};
@@ -47,6 +37,8 @@ struct KernelMetrics {
   obs::CounterRef calls_scalar;
   obs::CounterRef calls_tiled;
   obs::CounterRef calls_tiled_mt;
+  obs::CounterRef calls_simd_avx2;
+  obs::CounterRef calls_simd_avx512;
   obs::CounterRef calls_tree;
   obs::CounterRef pairs;
   obs::HistogramRef tile_seconds;
@@ -57,11 +49,23 @@ KernelMetrics& kernel_metrics() {
       obs::metrics().counter("nbody.kernel.calls.scalar"),
       obs::metrics().counter("nbody.kernel.calls.tiled"),
       obs::metrics().counter("nbody.kernel.calls.tiled_mt"),
+      obs::metrics().counter("nbody.kernel.calls.simd_avx2"),
+      obs::metrics().counter("nbody.kernel.calls.simd_avx512"),
       obs::metrics().counter("nbody.kernel.calls.tree"),
       obs::metrics().counter("nbody.kernel.pairs"),
       obs::metrics().histogram("nbody.kernel.tile_seconds", 0.0, 1e-3, 50),
   };
   return m;
+}
+
+/// The widest usable simd tier as a ForceKernel, or Tiled when none is.
+ForceKernel best_single_thread_exact() {
+  switch (widest_simd_tier()) {
+    case SimdTier::Avx512: return ForceKernel::SimdAvx512;
+    case SimdTier::Avx2: return ForceKernel::SimdAvx2;
+    case SimdTier::None: break;
+  }
+  return ForceKernel::Tiled;
 }
 
 }  // namespace
@@ -93,6 +97,8 @@ std::optional<ForceKernel> parse_force_kernel(std::string_view name) noexcept {
   if (name == "scalar") return ForceKernel::Scalar;
   if (name == "tiled") return ForceKernel::Tiled;
   if (name == "tiled-mt") return ForceKernel::TiledMT;
+  if (name == "simd-avx2") return ForceKernel::SimdAvx2;
+  if (name == "simd-avx512") return ForceKernel::SimdAvx512;
   if (name == "tree") return ForceKernel::Tree;
   return std::nullopt;
 }
@@ -103,9 +109,30 @@ std::string_view force_kernel_name(ForceKernel kind) noexcept {
     case ForceKernel::Scalar: return "scalar";
     case ForceKernel::Tiled: return "tiled";
     case ForceKernel::TiledMT: return "tiled-mt";
+    case ForceKernel::SimdAvx2: return "simd-avx2";
+    case ForceKernel::SimdAvx512: return "simd-avx512";
     case ForceKernel::Tree: return "tree";
   }
   return "auto";
+}
+
+std::string_view force_kernel_names() noexcept {
+  return "auto|scalar|tiled|tiled-mt|simd-avx2|simd-avx512|tree";
+}
+
+std::optional<ForceKernel> parse_force_kernel_cli(std::string_view name,
+                                                 std::string& error) {
+  if (const auto kind = parse_force_kernel(name)) return kind;
+  error = "unknown --kernel '";
+  error += name;
+  error += "' (valid: ";
+  error += force_kernel_names();
+  error += ")";
+  return std::nullopt;
+}
+
+bool kernel_uses_bh_theta(ForceKernel kind) noexcept {
+  return kind == ForceKernel::Tree || kind == ForceKernel::Auto;
 }
 
 void set_bh_opening_angle(double theta) noexcept {
@@ -125,14 +152,32 @@ ForceKernel default_force_kernel() noexcept {
 }
 
 ForceKernel resolve_force_kernel(ForceKernel kind, std::size_t targets,
-                                 std::size_t sources) {
+                                 std::size_t sources, unsigned pool_workers) {
   if (kind == ForceKernel::Auto) kind = default_force_kernel();
-  if (kind != ForceKernel::Auto) return kind;
+  if (kind != ForceKernel::Auto) {
+    // Forced simd tiers on hardware (or builds) that cannot run them fall
+    // back to the widest usable tier, then tiled — never an illegal
+    // instruction, and still deterministic per process.
+    if (kind == ForceKernel::SimdAvx512 &&
+        !simd_tier_usable(SimdTier::Avx512)) {
+      kind = simd_tier_usable(SimdTier::Avx2) ? ForceKernel::SimdAvx2
+                                              : ForceKernel::Tiled;
+    }
+    if (kind == ForceKernel::SimdAvx2 && !simd_tier_usable(SimdTier::Avx2))
+      kind = ForceKernel::Tiled;
+    return kind;
+  }
   if (targets * sources < kScalarPairCutoff) return ForceKernel::Scalar;
   if (sources >= kTreeSourceCutoff) return ForceKernel::Tree;
-  if (targets >= kMinTargetsForMT && kernel_pool().worker_count() > 0)
+  if (targets >= kMinTargetsForMT && pool_workers > 0)
     return ForceKernel::TiledMT;
-  return ForceKernel::Tiled;
+  return best_single_thread_exact();
+}
+
+ForceKernel resolve_force_kernel(ForceKernel kind, std::size_t targets,
+                                 std::size_t sources) {
+  return resolve_force_kernel(kind, targets, sources,
+                              kernel_pool().worker_count());
 }
 
 void accumulate(ForceKernel kind, std::span<const Vec3> target_pos,
@@ -192,14 +237,28 @@ void accumulate(ForceKernel kind, std::span<const Vec3> target_pos,
 
   const SoaView targets{s.tx.data(), s.ty.data(), s.tz.data(), nullptr, nt};
   const SoaView sources{s.sx.data(), s.sy.data(), s.sz.data(), s.sm.data(), ns};
-  if (kind == ForceKernel::TiledMT) {
-    metrics.calls_tiled_mt.inc();
-    tiled_mt_accumulate(targets, sources, softening2, skip_offset, s.ax.data(),
-                        s.ay.data(), s.az.data(), &kernel_pool());
-  } else {
-    metrics.calls_tiled.inc();
-    tiled_accumulate(targets, sources, softening2, skip_offset, s.ax.data(),
-                     s.ay.data(), s.az.data());
+  switch (kind) {
+    case ForceKernel::TiledMT:
+      metrics.calls_tiled_mt.inc();
+      tiled_mt_accumulate(targets, sources, softening2, skip_offset,
+                          s.ax.data(), s.ay.data(), s.az.data(),
+                          &kernel_pool());
+      break;
+    case ForceKernel::SimdAvx2:
+      metrics.calls_simd_avx2.inc();
+      simd_accumulate(SimdTier::Avx2, targets, sources, softening2,
+                      skip_offset, s.ax.data(), s.ay.data(), s.az.data());
+      break;
+    case ForceKernel::SimdAvx512:
+      metrics.calls_simd_avx512.inc();
+      simd_accumulate(SimdTier::Avx512, targets, sources, softening2,
+                      skip_offset, s.ax.data(), s.ay.data(), s.az.data());
+      break;
+    default:
+      metrics.calls_tiled.inc();
+      tiled_accumulate(targets, sources, softening2, skip_offset, s.ax.data(),
+                       s.ay.data(), s.az.data());
+      break;
   }
 
   for (std::size_t i = 0; i < nt; ++i) {

@@ -1,0 +1,88 @@
+// SIMD tier resolution: maps SimdTier to the per-ISA TUs that this build
+// actually contains and this host can actually execute.  Compiled with
+// plain project flags — the wide instructions live only in
+// simd_avx2.cpp/simd_avx512.cpp (see the CMake per-TU flag setup), so this
+// TU is safe to run on any host, which is what makes the runtime fallback
+// trustworthy.
+#include "nbody/kernels/simd.hpp"
+
+#include "nbody/kernels/simd_impl.hpp"
+#include "support/contracts.hpp"
+#include "support/cpu_features.hpp"
+
+namespace specomp::nbody::kernels {
+
+std::string_view simd_tier_name(SimdTier tier) noexcept {
+  switch (tier) {
+    case SimdTier::None: return "none";
+    case SimdTier::Avx2: return "avx2";
+    case SimdTier::Avx512: return "avx512";
+  }
+  return "none";
+}
+
+bool simd_tier_compiled(SimdTier tier) noexcept {
+  switch (tier) {
+    case SimdTier::None: return true;
+    case SimdTier::Avx2:
+#if defined(SPECOMP_SIMD_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case SimdTier::Avx512:
+#if defined(SPECOMP_SIMD_HAVE_AVX512)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool simd_tier_usable(SimdTier tier) noexcept {
+  if (!simd_tier_compiled(tier)) return false;
+  const support::cpu::Features& cpu = support::cpu::features();
+  switch (tier) {
+    case SimdTier::None: return true;
+    case SimdTier::Avx2: return cpu.usable_avx2();
+    case SimdTier::Avx512: return cpu.usable_avx512();
+  }
+  return false;
+}
+
+SimdTier widest_simd_tier() noexcept {
+  if (simd_tier_usable(SimdTier::Avx512)) return SimdTier::Avx512;
+  if (simd_tier_usable(SimdTier::Avx2)) return SimdTier::Avx2;
+  return SimdTier::None;
+}
+
+void simd_accumulate(SimdTier tier, const SoaView& targets,
+                     const SoaView& sources, double softening2,
+                     std::size_t skip_offset, double* ax, double* ay,
+                     double* az) {
+  SPEC_EXPECTS(tier != SimdTier::None);
+  SPEC_EXPECTS(simd_tier_usable(tier));
+  switch (tier) {
+    case SimdTier::Avx2:
+#if defined(SPECOMP_SIMD_HAVE_AVX2)
+      avx2_accumulate(targets, sources, softening2, skip_offset, ax, ay, az);
+      return;
+#else
+      break;
+#endif
+    case SimdTier::Avx512:
+#if defined(SPECOMP_SIMD_HAVE_AVX512)
+      avx512_accumulate(targets, sources, softening2, skip_offset, ax, ay, az);
+      return;
+#else
+      break;
+#endif
+    case SimdTier::None: break;
+  }
+  // Unreachable when the usable() precondition holds; keep numerical
+  // behaviour sane regardless.
+  tiled_accumulate(targets, sources, softening2, skip_offset, ax, ay, az);
+}
+
+}  // namespace specomp::nbody::kernels

@@ -1,0 +1,58 @@
+// Explicitly vectorised SoA force kernels with runtime ISA tiers.
+//
+// Two tiers next to `tiled` (DESIGN.md §11):
+//
+//   * simd-avx2   — 4-lane __m256d FMA accumulation, 8-wide target chunks
+//                   (two vector halves), float-rsqrt seed polished by three
+//                   Newton iterations in double;
+//   * simd-avx512 — 8-lane __m512d, 16-wide target chunks, _mm512_rsqrt14_pd
+//                   seed + two Newton iterations, opmask tail/self handling.
+//
+// Each tier lives in its own translation unit compiled with the matching
+// -m flags (simd_avx2.cpp / simd_avx512.cpp — see src/nbody/CMakeLists.txt),
+// so the rest of the binary never contains unguarded wide instructions.  A
+// tier is *usable* only when (a) its TU was compiled in and (b)
+// support::cpu::features() reports the ISA plus OS register-state support.
+// KernelDispatch routes here only for usable tiers and falls back to the
+// widest usable one (then `tiled`) otherwise.
+//
+// Determinism contract (test-pinned, tests/nbody/test_simd_kernels.cpp):
+//   * a fixed tier is bit-identical across repeated calls and runs — the
+//     instruction sequence is explicit, lane order is fixed (lane k always
+//     holds target i+k), sources are accumulated in ascending j order per
+//     lane, and nothing depends on threading, timing or allocation;
+//   * max-abs deviation vs the scalar oracle is <= 1e-12 (the only
+//     deviations are per-source-tile summation grouping, FMA contraction,
+//     and a ~1-2 ulp Newton-polished r^{-3/2}).
+#pragma once
+
+#include <string_view>
+
+#include "nbody/kernels/kernel.hpp"
+
+namespace specomp::nbody::kernels {
+
+enum class SimdTier { None, Avx2, Avx512 };
+
+std::string_view simd_tier_name(SimdTier tier) noexcept;
+
+/// The tier's translation unit is present in this binary (compiler
+/// supported the -m flags at build time).
+bool simd_tier_compiled(SimdTier tier) noexcept;
+
+/// Compiled in AND executable on this host per support::cpu::features().
+/// SimdTier::None is trivially usable (it means "no SIMD tier").
+bool simd_tier_usable(SimdTier tier) noexcept;
+
+/// Widest usable tier, or None when no SIMD tier is usable.
+SimdTier widest_simd_tier() noexcept;
+
+/// Same contract as tiled_accumulate: adds into ax/ay/az the accelerations
+/// the source block exerts on each target, skipping self pairs per
+/// skip_offset.  Pre: simd_tier_usable(tier) && tier != None.
+void simd_accumulate(SimdTier tier, const SoaView& targets,
+                     const SoaView& sources, double softening2,
+                     std::size_t skip_offset, double* ax, double* ay,
+                     double* az);
+
+}  // namespace specomp::nbody::kernels

@@ -1,0 +1,189 @@
+// Explicit AVX2+FMA force kernel (4-lane __m256d, 8-wide target chunks).
+//
+// Compiled per-TU with -mavx2 -mfma (plus the kernel fast flags) — see
+// src/nbody/CMakeLists.txt.  Never called unless KernelDispatch confirmed
+// runtime support via support::cpu::features(), so the wide instructions
+// here cannot fault on older hosts.
+//
+// Structure mirrors tiled.cpp: sources stream through L1-resident tiles of
+// kSourceTile rows, targets sit in register-resident chunks (two 4-lane
+// halves per 8-wide chunk, accumulators live across the whole tile sweep).
+// Determinism (DESIGN.md §11): lane k always holds target i+k, every lane
+// accumulates sources in ascending j order, tiles are visited in ascending
+// order, and the instruction sequence is fixed — so results are
+// bit-identical across runs and independent of everything but the input.
+//
+// r^{-3/2} uses the 12-bit _mm_rsqrt_ps estimate on the float-converted r2
+// polished by three Newton iterations in double (error 2^-12 -> ~2^-24 ->
+// ~2^-48 -> sub-ulp), replacing the scalar bit-trick seed + four
+// iterations: one fewer polish step and a hardware seed, which is where
+// this tier's speedup over the autovectorised `tiled` loop comes from.
+//
+// Self-pair suppression is branch-free: rows inside the (clamped) self
+// window compare the broadcast "self lane index" against each half's
+// absolute target indices and zero the force of the matching lane with an
+// andnot; all other rows take the same code path with an all-zero mask.
+// Tail chunks (n_t % 8) use maskload/maskstore, so no scalar remainder
+// loop exists and lane order never changes.
+#include "nbody/kernels/simd_impl.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace specomp::nbody::kernels {
+
+namespace {
+
+/// One Newton–Raphson reciprocal-sqrt refinement: y <- y (1.5 - h y^2).
+inline __m256d nr_step(__m256d y, __m256d h) noexcept {
+  const __m256d t =
+      _mm256_fnmadd_pd(_mm256_mul_pd(h, y), y, _mm256_set1_pd(1.5));
+  return _mm256_mul_pd(y, t);
+}
+
+/// r2^{-3/2}: hardware float rsqrt seed (~2^-12), three double NR steps.
+inline __m256d inv_r3(__m256d r2) noexcept {
+  __m256d y = _mm256_cvtps_pd(_mm_rsqrt_ps(_mm256_cvtpd_ps(r2)));
+  const __m256d h = _mm256_mul_pd(_mm256_set1_pd(0.5), r2);
+  y = nr_step(y, h);
+  y = nr_step(y, h);
+  y = nr_step(y, h);
+  return _mm256_mul_pd(_mm256_mul_pd(y, y), y);
+}
+
+/// Adds source row (xj,yj,zj,mj) into one 4-lane accumulator half.
+/// `kill` lanes (all-ones) contribute nothing — the self-pair mask.
+inline void row_half(__m256d xj, __m256d yj, __m256d zj, __m256d mj,
+                     __m256d tx, __m256d ty, __m256d tz, __m256d soft2,
+                     __m256d kill, __m256d& lx, __m256d& ly,
+                     __m256d& lz) noexcept {
+  const __m256d dx = _mm256_sub_pd(xj, tx);
+  const __m256d dy = _mm256_sub_pd(yj, ty);
+  const __m256d dz = _mm256_sub_pd(zj, tz);
+  __m256d r2 = _mm256_fmadd_pd(dx, dx, soft2);
+  r2 = _mm256_fmadd_pd(dy, dy, r2);
+  r2 = _mm256_fmadd_pd(dz, dz, r2);
+  __m256d f = _mm256_mul_pd(mj, inv_r3(r2));
+  f = _mm256_andnot_pd(kill, f);
+  lx = _mm256_fmadd_pd(f, dx, lx);
+  ly = _mm256_fmadd_pd(f, dy, ly);
+  lz = _mm256_fmadd_pd(f, dz, lz);
+}
+
+constexpr std::size_t kChunk = 8;  // two 4-lane halves
+
+/// Lane masks (int64 all-ones per active lane) for a tail of `rem` targets.
+inline __m256i tail_mask(std::size_t rem, std::size_t half) noexcept {
+  alignas(32) std::int64_t lanes[4];
+  for (std::size_t k = 0; k < 4; ++k)
+    lanes[k] = (half * 4 + k) < rem ? -1 : 0;
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+}
+
+/// One target chunk (lanes = absolute target indices [i, i+8), the last
+/// `8 - active` of them dead) against source rows [tile_begin, tile_end).
+/// The self window [self_begin, self_end) has been clamped into the tile by
+/// the caller; `skip_offset` identifies which lane each such row kills.
+void chunk_accumulate(const SoaView& t, const SoaView& s, std::size_t i,
+                      std::size_t active, std::size_t tile_begin,
+                      std::size_t tile_end, std::size_t self_begin,
+                      std::size_t self_end, std::size_t skip_offset,
+                      double soft2, double* ax, double* ay, double* az) {
+  const bool full = active == kChunk;
+  const __m256i m0 = full ? _mm256_set1_epi64x(-1) : tail_mask(active, 0);
+  const __m256i m1 = full ? _mm256_set1_epi64x(-1) : tail_mask(active, 1);
+
+  // Dead lanes load 0.0 via maskload: forces computed for them are finite
+  // garbage (r2 >= soft2 > 0) and never stored back.
+  const __m256d tx0 = _mm256_maskload_pd(t.x + i, m0);
+  const __m256d ty0 = _mm256_maskload_pd(t.y + i, m0);
+  const __m256d tz0 = _mm256_maskload_pd(t.z + i, m0);
+  const __m256d tx1 = _mm256_maskload_pd(t.x + i + 4, m1);
+  const __m256d ty1 = _mm256_maskload_pd(t.y + i + 4, m1);
+  const __m256d tz1 = _mm256_maskload_pd(t.z + i + 4, m1);
+
+  const __m256d soft2v = _mm256_set1_pd(soft2);
+  const __m256d none = _mm256_setzero_pd();
+  __m256d lx0 = none, ly0 = none, lz0 = none;
+  __m256d lx1 = none, ly1 = none, lz1 = none;
+
+  const auto idx = [i](std::int64_t base) {
+    return _mm256_set_epi64x(static_cast<std::int64_t>(i) + base + 3,
+                             static_cast<std::int64_t>(i) + base + 2,
+                             static_cast<std::int64_t>(i) + base + 1,
+                             static_cast<std::int64_t>(i) + base);
+  };
+  const __m256i idx0 = idx(0);
+  const __m256i idx1 = idx(4);
+
+  const auto sweep = [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t j = row_begin; j < row_end; ++j) {
+      const __m256d xj = _mm256_set1_pd(s.x[j]);
+      const __m256d yj = _mm256_set1_pd(s.y[j]);
+      const __m256d zj = _mm256_set1_pd(s.z[j]);
+      const __m256d mj = _mm256_set1_pd(s.m[j]);
+      row_half(xj, yj, zj, mj, tx0, ty0, tz0, soft2v, none, lx0, ly0, lz0);
+      row_half(xj, yj, zj, mj, tx1, ty1, tz1, soft2v, none, lx1, ly1, lz1);
+    }
+  };
+
+  sweep(tile_begin, self_begin);
+  for (std::size_t j = self_begin; j < self_end; ++j) {
+    // Row j is the self pair of target lane (j - skip_offset): zero exactly
+    // that lane's force.  At most kChunk rows per chunk take this path.
+    const __m256i self =
+        _mm256_set1_epi64x(static_cast<std::int64_t>(j - skip_offset));
+    const __m256d kill0 = _mm256_castsi256_pd(_mm256_cmpeq_epi64(idx0, self));
+    const __m256d kill1 = _mm256_castsi256_pd(_mm256_cmpeq_epi64(idx1, self));
+    const __m256d xj = _mm256_set1_pd(s.x[j]);
+    const __m256d yj = _mm256_set1_pd(s.y[j]);
+    const __m256d zj = _mm256_set1_pd(s.z[j]);
+    const __m256d mj = _mm256_set1_pd(s.m[j]);
+    row_half(xj, yj, zj, mj, tx0, ty0, tz0, soft2v, kill0, lx0, ly0, lz0);
+    row_half(xj, yj, zj, mj, tx1, ty1, tz1, soft2v, kill1, lx1, ly1, lz1);
+  }
+  sweep(self_end, tile_end);
+
+  const auto add_out = [](double* out, __m256i mask, __m256d delta) {
+    const __m256d prev = _mm256_maskload_pd(out, mask);
+    _mm256_maskstore_pd(out, mask, _mm256_add_pd(prev, delta));
+  };
+  add_out(ax + i, m0, lx0);
+  add_out(ay + i, m0, ly0);
+  add_out(az + i, m0, lz0);
+  add_out(ax + i + 4, m1, lx1);
+  add_out(ay + i + 4, m1, ly1);
+  add_out(az + i + 4, m1, lz1);
+}
+
+}  // namespace
+
+void avx2_accumulate(const SoaView& t, const SoaView& s, double softening2,
+                     std::size_t skip_offset, double* ax, double* ay,
+                     double* az) {
+  for (std::size_t tile_begin = 0; tile_begin < s.n;
+       tile_begin += kSourceTile) {
+    const std::size_t tile_end = std::min(s.n, tile_begin + kSourceTile);
+    for (std::size_t i = 0; i < t.n; i += kChunk) {
+      const std::size_t active = std::min(kChunk, t.n - i);
+      std::size_t self_begin = tile_end;
+      std::size_t self_end = tile_end;
+      if (skip_offset != std::numeric_limits<std::size_t>::max()) {
+        const std::size_t first = skip_offset + i;
+        self_begin = std::clamp(first, tile_begin, tile_end);
+        self_end = std::clamp(first + active, tile_begin, tile_end);
+      }
+      chunk_accumulate(t, s, i, active, tile_begin, tile_end, self_begin,
+                       self_end, skip_offset, softening2, ax, ay, az);
+    }
+  }
+}
+
+}  // namespace specomp::nbody::kernels
+
+#endif  // __AVX2__ && __FMA__

@@ -1,0 +1,23 @@
+// Internal seam between simd.cpp (tier resolution, always compiled with
+// project flags) and the per-ISA translation units (compiled with their own
+// -m flags).  Declarations are unconditional; a definition exists only when
+// CMake could enable the matching TU, and simd.cpp consults the
+// SPECOMP_SIMD_HAVE_* definitions it gets from the build before calling.
+#pragma once
+
+#include "nbody/kernels/kernel.hpp"
+
+namespace specomp::nbody::kernels {
+
+/// AVX2+FMA kernel (simd_avx2.cpp).  Same contract as tiled_accumulate.
+void avx2_accumulate(const SoaView& targets, const SoaView& sources,
+                     double softening2, std::size_t skip_offset, double* ax,
+                     double* ay, double* az);
+
+/// AVX-512 F+DQ kernel (simd_avx512.cpp).  Same contract as
+/// tiled_accumulate.
+void avx512_accumulate(const SoaView& targets, const SoaView& sources,
+                       double softening2, std::size_t skip_offset, double* ax,
+                       double* ay, double* az);
+
+}  // namespace specomp::nbody::kernels

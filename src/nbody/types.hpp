@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "support/vec3.hpp"
@@ -44,6 +45,10 @@ struct NBodyConfig {
   double softening2 = 1.0e-4;
   InitKind init = InitKind::Plummer;
   std::uint64_t seed = 20240101;
+  /// Time integrator (see nbody/integrators/): "leapfrog" (default, the
+  /// paper's kick-drift update with an exact cheap correction), "rk4", or
+  /// "rk45" (embedded adaptive).  Drivers expose it as --integrator=.
+  std::string integrator = "leapfrog";
 };
 
 /// Contiguous block partition of particles over ranks, proportional to

@@ -15,6 +15,8 @@
 
 #include "nbody/forces.hpp"
 #include "nbody/init.hpp"
+#include "nbody/kernels/simd.hpp"
+#include "support/cpu_features.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
@@ -196,15 +198,45 @@ TEST(ForceKernels, TiledMtIsDeterministicAcrossRunsAndPoolSizes) {
 TEST(KernelDispatch, ParseRoundTripsEveryName) {
   using nbody::kernels::force_kernel_name;
   using nbody::kernels::parse_force_kernel;
-  for (const ForceKernel kind : {ForceKernel::Auto, ForceKernel::Scalar,
-                                 ForceKernel::Tiled, ForceKernel::TiledMT}) {
+  for (const ForceKernel kind :
+       {ForceKernel::Auto, ForceKernel::Scalar, ForceKernel::Tiled,
+        ForceKernel::TiledMT, ForceKernel::SimdAvx2, ForceKernel::SimdAvx512,
+        ForceKernel::Tree}) {
     const auto parsed = parse_force_kernel(force_kernel_name(kind));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, kind);
   }
   EXPECT_FALSE(parse_force_kernel("").has_value());
   EXPECT_FALSE(parse_force_kernel("simd").has_value());
+  EXPECT_FALSE(parse_force_kernel("avx2").has_value());
   EXPECT_FALSE(parse_force_kernel("TILED").has_value());
+}
+
+TEST(KernelDispatch, CliParseFailsFastWithValidTierList) {
+  using nbody::kernels::parse_force_kernel_cli;
+  std::string error;
+  const auto ok = parse_force_kernel_cli("simd-avx2", error);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, ForceKernel::SimdAvx2);
+  EXPECT_TRUE(error.empty());
+
+  EXPECT_FALSE(parse_force_kernel_cli("warp", error).has_value());
+  EXPECT_NE(error.find("warp"), std::string::npos);
+  // The message names every valid tier so a typo is self-correcting.
+  EXPECT_NE(error.find(nbody::kernels::force_kernel_names()),
+            std::string::npos);
+}
+
+TEST(KernelDispatch, BhThetaOnlyMeaningfulForTreeCapableKernels) {
+  using nbody::kernels::kernel_uses_bh_theta;
+  EXPECT_TRUE(kernel_uses_bh_theta(ForceKernel::Tree));
+  EXPECT_TRUE(kernel_uses_bh_theta(ForceKernel::Auto));  // may escalate
+  for (const ForceKernel kind :
+       {ForceKernel::Scalar, ForceKernel::Tiled, ForceKernel::TiledMT,
+        ForceKernel::SimdAvx2, ForceKernel::SimdAvx512}) {
+    EXPECT_FALSE(kernel_uses_bh_theta(kind))
+        << nbody::kernels::force_kernel_name(kind);
+  }
 }
 
 TEST(KernelDispatch, AutoStaysOnScalarForTinyBlocks) {
@@ -228,6 +260,107 @@ TEST(KernelDispatch, ProcessDefaultOverridesAuto) {
   set_default_force_kernel(ForceKernel::Tiled);
   EXPECT_EQ(resolve_force_kernel(ForceKernel::Auto, 8, 8), ForceKernel::Tiled);
   set_default_force_kernel(saved);
+}
+
+TEST(KernelDispatch, AutoBoundariesArePinnedExactly) {
+  // The escalation thresholds, probed at +-1 through the worker-explicit
+  // overload (the shared pool has host-dependent size).  No simd tier
+  // forced off here — Auto picks the widest usable one, so the expected
+  // single-thread tier is computed from the live cpu features.
+  using nbody::kernels::kMinTargetsForMT;
+  using nbody::kernels::kScalarPairCutoff;
+  using nbody::kernels::kTreeSourceCutoff;
+  using nbody::kernels::resolve_force_kernel;
+  using nbody::kernels::SimdTier;
+
+  const ForceKernel single_thread_tier =
+      nbody::kernels::widest_simd_tier() == SimdTier::Avx512
+          ? ForceKernel::SimdAvx512
+      : nbody::kernels::widest_simd_tier() == SimdTier::Avx2
+          ? ForceKernel::SimdAvx2
+          : ForceKernel::Tiled;
+
+  // Pair cutoff: 63*65 = 4095 < 4096 <= 64*64.
+  EXPECT_EQ(resolve_force_kernel(ForceKernel::Auto, 63, 65, 0),
+            ForceKernel::Scalar);
+  EXPECT_EQ(resolve_force_kernel(ForceKernel::Auto, 64, 64, 0),
+            single_thread_tier);
+
+  // Tree cutoff on the source count, any target count.
+  EXPECT_EQ(resolve_force_kernel(ForceKernel::Auto, 8192,
+                                 kTreeSourceCutoff - 1, 0),
+            single_thread_tier);
+  EXPECT_EQ(resolve_force_kernel(ForceKernel::Auto, 8192, kTreeSourceCutoff, 0),
+            ForceKernel::Tree);
+  EXPECT_EQ(resolve_force_kernel(ForceKernel::Auto, 1, kTreeSourceCutoff, 0),
+            ForceKernel::Tree);
+
+  // MT needs both enough targets and a populated pool.
+  EXPECT_EQ(resolve_force_kernel(ForceKernel::Auto, kMinTargetsForMT, 1000, 2),
+            ForceKernel::TiledMT);
+  EXPECT_EQ(resolve_force_kernel(ForceKernel::Auto, kMinTargetsForMT - 1, 1000,
+                                 2),
+            single_thread_tier);
+  EXPECT_EQ(resolve_force_kernel(ForceKernel::Auto, kMinTargetsForMT, 1000, 0),
+            single_thread_tier);
+}
+
+TEST(KernelDispatch, AutoNeverSelectsAnUnusableTier) {
+  // Clamp the cpu to generations below each tier and confirm Auto's
+  // single-thread choice degrades in lockstep, never resolving to a tier
+  // the host cannot execute.
+  using nbody::kernels::resolve_force_kernel;
+  using support::cpu::Features;
+
+  const auto single_thread = [] {
+    return resolve_force_kernel(ForceKernel::Auto, 64, 1000, 0);
+  };
+
+  support::cpu::override_for_testing(Features{});  // no SIMD at all
+  EXPECT_EQ(single_thread(), ForceKernel::Tiled);
+
+  Features avx2_only;
+  avx2_only.sse2 = avx2_only.avx = avx2_only.avx2 = avx2_only.fma = true;
+  avx2_only.os_avx = true;
+  support::cpu::override_for_testing(avx2_only);
+  if (nbody::kernels::simd_tier_compiled(nbody::kernels::SimdTier::Avx2))
+    EXPECT_EQ(single_thread(), ForceKernel::SimdAvx2);
+  else
+    EXPECT_EQ(single_thread(), ForceKernel::Tiled);
+
+  support::cpu::override_for_testing(std::nullopt);
+}
+
+TEST(KernelDispatch, ForcedUnusableSimdTierFallsBackCleanly) {
+  // --kernel=simd-avx512 on an AVX2-only host runs simd-avx2; on a host
+  // with neither, both forced tiers run tiled.  Dispatch must degrade, not
+  // fault.
+  using nbody::kernels::resolve_force_kernel;
+  using support::cpu::Features;
+
+  Features avx2_only;
+  avx2_only.sse2 = avx2_only.avx = avx2_only.avx2 = avx2_only.fma = true;
+  avx2_only.os_avx = true;
+  support::cpu::override_for_testing(avx2_only);
+  const bool avx2_compiled =
+      nbody::kernels::simd_tier_compiled(nbody::kernels::SimdTier::Avx2);
+  EXPECT_EQ(resolve_force_kernel(ForceKernel::SimdAvx512, 100, 100, 0),
+            avx2_compiled ? ForceKernel::SimdAvx2 : ForceKernel::Tiled);
+
+  support::cpu::override_for_testing(Features{});
+  EXPECT_EQ(resolve_force_kernel(ForceKernel::SimdAvx512, 100, 100, 0),
+            ForceKernel::Tiled);
+  EXPECT_EQ(resolve_force_kernel(ForceKernel::SimdAvx2, 100, 100, 0),
+            ForceKernel::Tiled);
+
+  // And the public accumulate entry point stays correct under the clamp
+  // (it silently runs the fallback tier).
+  const Block block = make_block(64, 33);
+  const auto forced = run(ForceKernel::SimdAvx512, block, block, 0);
+  const auto oracle = run(ForceKernel::Scalar, block, block, 0);
+  EXPECT_LE(max_abs_dev(forced, oracle), kBudget);
+
+  support::cpu::override_for_testing(std::nullopt);
 }
 
 TEST(KernelDispatch, AutoMatchesOracleThroughPublicEntryPoint) {

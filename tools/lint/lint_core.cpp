@@ -46,12 +46,15 @@ const std::vector<RuleSpec> kRules = {
      "allocation-free event arena; use des::EventFn or a template parameter)",
      // Trace/distribution emission sits on the send/recv/compute hot paths,
      // so its headers get the same no-type-erased-callables discipline, as
-     // do the collectives (every hop is a hot-path send/recv) and the force
-     // kernels (the per-pair inner loops).
+     // do the collectives (every hop is a hot-path send/recv), the force
+     // kernels (the per-pair inner loops), the integrator family (invoked
+     // once per stage per step, with the force model on the stack), and the
+     // CPUID feature probe (consulted on every kernel dispatch).
      // (runtime/communicator.hpp stays out: RankBody is std::function by
      // design — it is invoked once per rank, not per event.)
      {"src/des/", "src/obs/dist_sketch", "src/obs/trace_export",
-      "src/runtime/collective", "src/nbody/kernels/"},
+      "src/runtime/collective", "src/nbody/kernels/",
+      "src/nbody/integrators/", "src/support/cpu_features"},
      {},
      true},
     {"unordered-iter",
