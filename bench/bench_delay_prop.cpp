@@ -21,6 +21,9 @@
 // Flags:
 //   --jobs=N         parallel sweep lanes (default 8; results identical)
 //   --iterations=N   N-body iterations per cell (default 10)
+//   --integrator=CSV integrator axis (default leapfrog,rk4,rk45): damping of
+//                    the front depends on speculation accuracy, which the
+//                    integrator's truncation error feeds
 //   --out=FILE       report path (default BENCH_delay_prop.json)
 //
 // Exit codes: 0 ok, 1 a cell's trace failed spectrace's self-check,
@@ -31,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "nbody/integrators/integrator.hpp"
 #include "nbody/scenario.hpp"
 #include "obs/atomic_file.hpp"
 #include "obs/json.hpp"
@@ -53,7 +57,17 @@ struct Cell {
   std::size_t p;
   int fw;
   double theta;
+  std::string integrator;
 };
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> names;
+  std::stringstream in(csv);
+  std::string name;
+  while (std::getline(in, name, ','))
+    if (!name.empty()) names.push_back(name);
+  return names;
+}
 
 struct CellResult {
   double makespan = 0.0;
@@ -66,6 +80,7 @@ NBodyScenario make_scenario(const Cell& cell, long iterations, bool stall) {
   NBodyScenario s = paper_testbed_scenario(cell.p, iterations);
   s.forward_window = cell.fw;
   s.theta = cell.theta;
+  s.body.integrator = cell.integrator;
   if (stall) {
     runtime::FaultPlanConfig config;
     std::string error;
@@ -91,13 +106,30 @@ int main(int argc, char** argv) {
   const int jobs = runtime::jobs_from_cli(cli);
   const long iterations = cli.get_int("iterations", 10);
   const std::string out = cli.get("out", "BENCH_delay_prop.json");
+  const std::vector<std::string> integrators =
+      split_names(cli.get("integrator", "leapfrog,rk4,rk45"));
+  for (const auto& name : integrators) {
+    std::string error;
+    if (!nbody::integrators::make_integrator_cli(name, error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+  }
   for (const auto& unknown : cli.unused())
     std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
 
+  // The (FW, θ) plane is swept at every p for the default integrator; the
+  // integrator axis rides at the largest p, where the front has the most
+  // lanes to reach, to keep the grid compact.
   std::vector<Cell> cells;
   for (const std::size_t p : {4, 8, 16})
     for (const int fw : {1, 2})
-      for (const double theta : {0.01, 0.1}) cells.push_back({p, fw, theta});
+      for (const double theta : {0.01, 0.1})
+        cells.push_back({p, fw, theta, integrators.front()});
+  for (std::size_t i = 1; i < integrators.size(); ++i)
+    for (const int fw : {1, 2})
+      for (const double theta : {0.01, 0.1})
+        cells.push_back({16, fw, theta, integrators[i]});
 
   std::printf("delay-propagation sweep: %zu cells, %ld iterations, jobs=%d\n"
               "  injected fault: rank %d stalls %.0f s at t=%.0f s\n",
@@ -125,23 +157,25 @@ int main(int argc, char** argv) {
 
   obs::Json cells_json = obs::Json::array();
   bool all_ok = true;
-  std::printf("\n   p  fw  theta  reached  depth  front_l/s  decay/hop  "
-              "slowdown\n");
+  std::printf("\n   p  fw  theta  integrator  reached  depth  front_l/s  "
+              "decay/hop  slowdown\n");
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& cell = cells[i];
     const CellResult& r = results[i];
     all_ok = all_ok && r.self_check_ok && r.prop.has_anchor;
     const double slowdown = r.makespan / r.baseline_makespan;
-    std::printf("  %2zu  %2d  %5.2f  %7zu  %5zu  %9.3f  %9.3f  %8.3f%s\n",
-                cell.p, cell.fw, cell.theta, r.prop.infections.size(),
-                r.prop.depth, r.prop.front_speed_lanes_per_s,
-                r.prop.decay_per_hop, slowdown,
-                r.self_check_ok ? "" : "  SELF-CHECK FAILED");
+    std::printf("  %2zu  %2d  %5.2f  %10s  %7zu  %5zu  %9.3f  %9.3f  "
+                "%8.3f%s\n",
+                cell.p, cell.fw, cell.theta, cell.integrator.c_str(),
+                r.prop.infections.size(), r.prop.depth,
+                r.prop.front_speed_lanes_per_s, r.prop.decay_per_hop,
+                slowdown, r.self_check_ok ? "" : "  SELF-CHECK FAILED");
 
     obs::Json c = obs::Json::object();
     c.set("p", cell.p);
     c.set("forward_window", cell.fw);
     c.set("theta", cell.theta);
+    c.set("integrator", cell.integrator);
     c.set("makespan_seconds", r.makespan);
     c.set("baseline_makespan_seconds", r.baseline_makespan);
     c.set("slowdown", slowdown);
@@ -159,6 +193,9 @@ int main(int argc, char** argv) {
     g.set("stall_rank", kStallRank);
     g.set("stall_at_seconds", kStallAtSeconds);
     g.set("stall_seconds", kStallSeconds);
+    obs::Json names = obs::Json::array();
+    for (const auto& name : integrators) names.push_back(name);
+    g.set("integrators", std::move(names));
     return g;
   }());
   report.set("cells", std::move(cells_json));

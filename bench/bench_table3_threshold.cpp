@@ -7,15 +7,38 @@
 // sweet spot.  Absolute values depend on the timestep (error scales with
 // a dt^2), so the θ ladder is reported at the testbed's dt together with
 // the observed speculation-error distribution.
+//
+// The grid crosses the θ ladder with the integrator family
+// (--integrator=leapfrog,rk4,rk45 — default all): higher-order integrators
+// damp the per-step truncation error, so the same θ rejects fewer
+// speculations, shifting the paper's sweet spot.
+//
+//   $ ./bench/bench_table3_threshold --report-out BENCH_table3_threshold.json
 #include <cstdio>
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "nbody/integrators/integrator.hpp"
 #include "nbody/scenario.hpp"
 #include "obs/artifacts.hpp"
 #include "runtime/sweep.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
+
+namespace {
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> names;
+  std::stringstream in(csv);
+  std::string name;
+  while (std::getline(in, name, ','))
+    if (!name.empty()) names.push_back(name);
+  return names;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace specomp;
@@ -25,28 +48,50 @@ int main(int argc, char** argv) {
   const long iterations = cli.get_int("iterations", 10);
   const auto p = static_cast<std::size_t>(cli.get_int("p", 16));
   const int jobs = runtime::jobs_from_cli(cli);
+  const std::vector<std::string> integrators =
+      split_names(cli.get("integrator", "leapfrog,rk4,rk45"));
+  for (const auto& name : integrators) {
+    std::string error;
+    if (!nbody::integrators::make_integrator_cli(name, error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  for (const auto& unknown : cli.unused())
+    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
 
   std::printf(
       "Table 3 — effect of error bound theta on recomputations and force "
       "error (%zu procs, FW = 2)\n\n", p);
-  support::Table table({"theta", "incorrect spec %", "mean force err %",
-                        "max force err %", "mean spec error", "max spec error"});
+  support::Table table({"integrator", "theta", "incorrect spec %",
+                        "mean force err %", "max force err %",
+                        "mean spec error", "max spec error"});
   const std::vector<double> thetas = {1e-1, 5e-2, 1e-2, 5e-3,
                                       1e-3, 5e-4, 1e-4};
+  struct Cell {
+    std::string integrator;
+    double theta;
+  };
+  std::vector<Cell> cells;
+  for (const auto& integrator : integrators)
+    for (const double theta : thetas) cells.push_back({integrator, theta});
+
   const std::vector<NBodyRunResult> runs =
-      runtime::sweep_map(thetas, jobs, [&](const double theta) {
+      runtime::sweep_map(cells, jobs, [&](const Cell& cell) {
         NBodyScenario s = paper_testbed_scenario(p, iterations);
-        s.theta = theta;
+        s.body.integrator = cell.integrator;
+        s.theta = cell.theta;
         s.measure_force_error = true;
         // FW = 2 mixes one- and two-step speculation depths, spreading the
         // error distribution the way the paper's loaded testbed did.
         s.forward_window = 2;
         return run_scenario(s);
       });
-  for (std::size_t i = 0; i < thetas.size(); ++i) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
     const NBodyRunResult& run = runs[i];
     table.row()
-        .add(thetas[i], 4)
+        .add(cells[i].integrator)
+        .add(cells[i].theta, 4)
         .add(run.spec.failure_fraction() * 100.0, 2)
         .add(run.force_error.mean() * 100.0, 3)
         .add(run.force_error.max() * 100.0, 3)
@@ -61,7 +106,10 @@ int main(int argc, char** argv) {
   artifacts.add_entry("processors", obs::Json(p));
   artifacts.add_entry("iterations", obs::Json(iterations));
   artifacts.add_entry("forward_window", obs::Json(2));
-  for (const auto& unknown : cli.unused())
-    std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
+  artifacts.add_entry("integrators", [&] {
+    obs::Json names = obs::Json::array();
+    for (const auto& name : integrators) names.push_back(name);
+    return names;
+  }());
   return artifacts.flush() ? 0 : 1;
 }

@@ -66,9 +66,13 @@ class CoupledOscillators final : public spec::SyncIterativeApp {
   }
 
  private:
+  // specomp: rollback-covered(rank_): immutable rank index; only ever read
   int rank_;
   double x_ = 0.0;
   double v_ = 0.0;
+  // specomp: rollback-covered(view_): peer entries are rewritten by
+  // install_peer during replay and the own entry by compute_step before the
+  // coupling mean is read
   std::vector<double> view_;
 };
 

@@ -52,6 +52,8 @@ class DriftApp final : public spec::SyncIterativeApp {
  private:
   int rank_;
   double x_;
+  // specomp: rollback-covered(view_): install_peer rewrites entries during
+  // replay and compute_step never reads them
   std::vector<double> view_;
 };
 

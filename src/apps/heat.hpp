@@ -66,6 +66,8 @@ class HeatApp final : public spec::SyncIterativeApp {
   std::size_t lo_ = 0;
   std::size_t count_ = 0;
   std::vector<double> u_;       // full view
+  // specomp: rollback-covered(prev_u_): refreshed from u_ at the top of
+  // every compute_step before any read; replay regenerates it
   std::vector<double> prev_u_;  // local segment before the last update
 };
 

@@ -71,6 +71,8 @@ class JacobiApp final : public spec::SyncIterativeApp {
   std::size_t lo_ = 0;
   std::size_t count_ = 0;
   std::vector<double> x_;    // full view; authoritative on [lo_, lo_+count_)
+  // specomp: rollback-covered(acc_): rewritten in full by every compute_step
+  // before correct_last_step applies deltas; replay regenerates it
   std::vector<double> acc_;  // last step's off-diagonal row sums (local rows)
 };
 

@@ -106,11 +106,19 @@ class NBodyApp final : public spec::SyncIterativeApp {
   std::size_t lo_ = 0;
   std::size_t count_ = 0;
 
+  // specomp: rollback-covered(mass_): immutable after construction; .data()
+  // handles only feed const spans into the force kernels
   std::vector<double> mass_;  // all N (fixed)
   std::vector<Vec3> pos_;     // all N: authoritative locally, view of peers
   std::vector<Vec3> vel_;
+  // specomp: rollback-covered(acc_): rewritten in full by the integrator at
+  // every compute_step before corrections read it; replay regenerates it
   std::vector<Vec3> acc_;            // last step's local accelerations
+  // specomp: rollback-covered(prev_pos_): snapshot of pos_ taken at the top
+  // of every compute_step before any read; replay regenerates it
   std::vector<Vec3> prev_pos_;       // local state before the last update
+  // specomp: rollback-covered(prev_vel_): snapshot of vel_ taken at the top
+  // of every compute_step before any read; replay regenerates it
   std::vector<Vec3> prev_vel_;
 
   std::unique_ptr<integrators::Integrator> integrator_;
@@ -118,6 +126,8 @@ class NBodyApp final : public spec::SyncIterativeApp {
   /// accelerations: only then is the paper's cheap two-pass correction
   /// exact, so other integrators recompute the step on rejection.
   bool linear_correction_ = true;
+  // specomp: rollback-covered(force_evals_last_step_): overwritten by every
+  // compute_step and read back only in the same step's compute_ops billing
   std::size_t force_evals_last_step_ = 1;
 
   bool measure_force_error_ = false;

@@ -1,0 +1,122 @@
+// Negative fixture for the rollback-safety pass and the engine alike.
+//
+// EscapingApp advances `steps_done_` in compute_step and feeds it into the
+// dynamics, but save_state/restore_state do not cover it: every rollback
+// replays compute_step with an over-advanced counter, so the replayed
+// trajectory silently diverges from the sequential one.  CoveredApp is the
+// same application with the counter included in the snapshot — its replay
+// is exact.  test_analyze.cpp asserts BOTH that the engine run diverges at
+// runtime and that specomp-analyze flags the same field statically.
+//
+// The trajectory x += drift * (1 + 0.25 * steps_done_) is quadratic in the
+// step count, so a linear speculator misses by a constant second difference
+// every block — with a tight threshold every iteration exercises
+// rollback + replay without any scripted fault.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "spec/app.hpp"
+
+namespace specomp::spec::testing {
+
+class EscapingApp final : public spec::SyncIterativeApp {
+ public:
+  EscapingApp(int rank, double drift) : rank_(rank), drift_(drift) {
+    x_ = 1.0 + rank;
+  }
+
+  static std::vector<std::vector<double>> initial_blocks(int size) {
+    std::vector<std::vector<double>> blocks(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r)
+      blocks[static_cast<std::size_t>(r)] = {1.0 + r};
+    return blocks;
+  }
+
+  std::vector<double> pack_local() const override { return {x_}; }
+  void install_peer(int, std::span<const double>) override {}
+
+  void compute_step() override {
+    x_ += drift_ * (1.0 + 0.25 * static_cast<double>(steps_done_));
+    ++steps_done_;
+    ++iteration_;
+  }
+
+  double compute_ops() const override { return 100.0; }
+
+  double speculation_error(int, std::span<const double> speculated,
+                           std::span<const double> actual) override {
+    return std::fabs(speculated[0] - actual[0]);
+  }
+
+  double check_ops(int) const override { return 5.0; }
+
+  // BUG (on purpose): steps_done_ escapes the snapshot.
+  std::vector<double> save_state() const override {
+    return {x_, static_cast<double>(iteration_)};
+  }
+  void restore_state(std::span<const double> state) override {
+    x_ = state[0];
+    iteration_ = static_cast<long>(state[1]);
+  }
+
+  double value() const noexcept { return x_; }
+  long steps_done() const noexcept { return steps_done_; }
+
+ private:
+  int rank_;
+  double drift_;
+  double x_ = 0.0;
+  long iteration_ = 0;
+  long steps_done_ = 0;
+};
+
+/// Control: identical dynamics, but the counter rides in the snapshot, so
+/// replay is exact and the speculative run matches the sequential one.
+class CoveredApp final : public spec::SyncIterativeApp {
+ public:
+  CoveredApp(int rank, double drift) : rank_(rank), drift_(drift) {
+    x_ = 1.0 + rank;
+  }
+
+  static std::vector<std::vector<double>> initial_blocks(int size) {
+    return EscapingApp::initial_blocks(size);
+  }
+
+  std::vector<double> pack_local() const override { return {x_}; }
+  void install_peer(int, std::span<const double>) override {}
+
+  void compute_step() override {
+    x_ += drift_ * (1.0 + 0.25 * static_cast<double>(steps_done_));
+    ++steps_done_;
+  }
+
+  double compute_ops() const override { return 100.0; }
+
+  double speculation_error(int, std::span<const double> speculated,
+                           std::span<const double> actual) override {
+    return std::fabs(speculated[0] - actual[0]);
+  }
+
+  double check_ops(int) const override { return 5.0; }
+
+  std::vector<double> save_state() const override {
+    return {x_, static_cast<double>(steps_done_)};
+  }
+  void restore_state(std::span<const double> state) override {
+    x_ = state[0];
+    steps_done_ = static_cast<long>(state[1]);
+  }
+
+  double value() const noexcept { return x_; }
+
+ private:
+  int rank_;
+  double drift_;
+  double x_ = 0.0;
+  long steps_done_ = 0;
+};
+
+}  // namespace specomp::spec::testing

@@ -1,0 +1,112 @@
+// specomp-analyze: whole-program determinism and rollback-safety analysis.
+//
+// Built on the symbol index (symbols.hpp), two passes guard the invariants
+// that speculative rollback+replay depends on (DESIGN.md §12):
+//
+//  * Nondeterminism taint.  Seed sites — wall clocks, ambient PRNGs, thread
+//    ids, pointer-to-integer casts, unordered-container iteration, raw `new`
+//    in a body — taint their enclosing function; taint propagates along the
+//    name-resolved call graph.  Only functions reachable from the engine /
+//    DES / communicator / app replay roots are reported, each with the full
+//    root→…→seed call chain, because nondeterminism is only fatal where a
+//    replayed step could observe it.
+//
+//  * Rollback safety.  For every class derived from spec::SyncIterativeApp,
+//    the member fields mutated by the step/install/correct closure are
+//    checked against the fields referenced by save_state / restore_state /
+//    pack_local.  State that escapes the snapshot — unsaved members, static
+//    or mutable members, static locals, file I/O, ambient RNG advancement —
+//    silently diverges after the first rollback.
+//
+// Both passes over-approximate (name-based calls, token-level mutation
+// detection), so every rule is suppressible with a justified annotation:
+//
+//    // specomp: pure                          — function never taints
+//    // specomp: rollback-covered(field): why  — field is rollback-safe
+//    // specomp: allow(wall-clock): why        — silence one rule on a line
+//
+// plus the pre-existing `// specomp-lint: allow(rule): why` directives for
+// the rule ids shared with specomp-lint.  Malformed directives are findings
+// themselves (rule `bad-annotation`).  A committed baseline
+// (tools/analyze/baseline.json) keys findings on (rule, path, symbol,
+// detail) — no line numbers — so CI fails only on *new* findings.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "symbols.hpp"
+
+namespace specana {
+
+/// One analyzer finding.  `symbol` is the qualified function for taint
+/// findings and `Class::field` for rollback findings; `detail` is stable
+/// across unrelated edits (no line numbers) so the baseline key
+/// (rule, path, symbol, detail) survives file churn.
+struct AnalyzeFinding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string symbol;
+  std::string detail;
+  /// Supporting frames, root first: "Qualified (path:line)".  Taint findings
+  /// carry the root→seed call chain; rollback findings the mutation sites.
+  std::vector<std::string> chain;
+  /// Set by apply_baseline for findings already present in the baseline.
+  bool baselined = false;
+};
+
+/// Rule vocabulary: id -> one-line description (drives allow() validation,
+/// the SARIF rule table and the docs).
+const std::vector<std::pair<std::string, std::string>>& analyze_rules();
+
+struct AnalyzeResult {
+  std::vector<AnalyzeFinding> findings;  // sorted (path, line, rule, symbol)
+  std::size_t files_scanned = 0;
+  std::size_t symbols_indexed = 0;
+  std::size_t classes_indexed = 0;
+  std::size_t taint_roots = 0;
+};
+
+/// Analyses in-memory files [(logical_path, content)] — the test entry
+/// point.  Files are indexed in the given order.
+AnalyzeResult analyze_files(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+/// Analyses `root`/<subdir> trees on disk (same file discovery as
+/// specomp-lint: build*/fixtures dirs skipped, sorted paths).
+AnalyzeResult analyze_tree(const std::filesystem::path& root,
+                           const std::vector<std::string>& subdirs);
+
+/// The baseline identity of a finding: "rule|path|symbol|detail".
+std::string baseline_key(const AnalyzeFinding& f);
+
+/// Serialises the current findings as a baseline document (schema_version 1,
+/// sorted unique keys).
+std::string make_baseline_json(const AnalyzeResult& result);
+
+/// Marks findings whose key appears in `baseline_json` as baselined.
+/// Returns the number of findings NOT in the baseline (the CI gate).
+/// Throws std::runtime_error on malformed baseline documents.
+std::size_t apply_baseline(AnalyzeResult& result,
+                           std::string_view baseline_json);
+
+/// "path:line: [rule] symbol: detail" plus indented chain frames.
+std::string format_finding(const AnalyzeFinding& f);
+
+/// Human-readable report with a `schema_version` header; byte-deterministic
+/// for a given tree.
+std::string to_text_report(const AnalyzeResult& result);
+
+/// Machine-readable report (schema_version 1).
+std::string to_json_report(const AnalyzeResult& result);
+
+/// SARIF 2.1.0 (one run, full rule table; baselined findings demoted to
+/// "note" so code-scanning UIs surface only new ones as errors).
+std::string to_sarif_report(const AnalyzeResult& result);
+
+}  // namespace specana

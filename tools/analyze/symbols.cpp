@@ -1,0 +1,527 @@
+#include "symbols.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace specana {
+
+namespace {
+
+using specscan::Token;
+
+// Keywords that look like calls (`if (`, `while (`...) or otherwise must not
+// become call references or symbol names.
+const std::set<std::string_view> kNotACall = {
+    "if",       "for",      "while",    "switch",   "return",  "sizeof",
+    "alignof",  "alignas",  "decltype", "catch",    "new",     "delete",
+    "throw",    "case",     "default",  "do",       "else",    "goto",
+    "co_await", "co_yield", "co_return", "requires", "noexcept", "assert",
+    "static_assert", "typeid", "defined"};
+
+// Tokens that may trail a function's parameter list before the body.
+const std::set<std::string_view> kFnQualifiers = {
+    "const", "noexcept", "override", "final", "volatile", "&", "&&",
+    "mutable", "constexpr", "inline", "throw", "requires"};
+
+/// Cursor over one file's token stream.
+class Parser {
+ public:
+  Parser(const FileIndex& file, std::vector<Symbol>& symbols,
+         std::vector<ClassInfo>& classes,
+         std::vector<std::size_t>& symbol_indices)
+      : toks_(file.tokens),
+        path_(file.path),
+        symbols_(symbols),
+        classes_(classes),
+        symbol_indices_(symbol_indices) {}
+
+  void run() { parse_scope(/*owner=*/""); }
+
+ private:
+  std::string_view tok(std::size_t i) const {
+    return i < toks_.size() ? toks_[i].text : std::string_view{};
+  }
+  int line(std::size_t i) const {
+    return i < toks_.size() ? toks_[i].line : 0;
+  }
+  bool at_end() const { return pos_ >= toks_.size(); }
+
+  /// Skips a balanced pair starting at pos_ (which must hold `open`).
+  void skip_balanced(std::string_view open, std::string_view close) {
+    int depth = 0;
+    while (!at_end()) {
+      if (tok(pos_) == open) ++depth;
+      else if (tok(pos_) == close && --depth == 0) {
+        ++pos_;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  /// Skips to the `;` terminating the current declaration/statement,
+  /// balancing (), {}, [] and <...> heuristically along the way.
+  void skip_to_semicolon() {
+    int round = 0, curly = 0, square = 0;
+    while (!at_end()) {
+      const std::string_view t = tok(pos_);
+      if (t == "(") ++round;
+      else if (t == ")") --round;
+      else if (t == "{") ++curly;
+      else if (t == "}") {
+        if (curly == 0) return;  // scope close without `;` — let caller see it
+        --curly;
+      } else if (t == "[") ++square;
+      else if (t == "]") --square;
+      else if (t == ";" && round == 0 && curly == 0 && square == 0) {
+        ++pos_;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  /// Parses declarations until the matching `}` of the current scope (or
+  /// EOF).  `owner` is the enclosing class name ("" at namespace scope).
+  void parse_scope(const std::string& owner) {
+    while (!at_end()) {
+      const std::string_view t = tok(pos_);
+      if (t == "}") {
+        ++pos_;
+        return;
+      }
+      if (t == ";" || t == ":") {  // stray semicolon / access-specifier colon
+        ++pos_;
+        continue;
+      }
+      if (t == "public" || t == "private" || t == "protected") {
+        ++pos_;
+        if (tok(pos_) == ":") ++pos_;
+        continue;
+      }
+      if (t == "namespace") {
+        ++pos_;
+        while (specscan::is_identifier(tok(pos_)) || tok(pos_) == "::")
+          ++pos_;  // name (possibly nested a::b), or nothing when anonymous
+        if (tok(pos_) == "=") {  // namespace alias
+          skip_to_semicolon();
+          continue;
+        }
+        if (tok(pos_) == "{") {
+          ++pos_;
+          parse_scope("");  // namespaces do not own methods
+        }
+        continue;
+      }
+      if (t == "template") {
+        ++pos_;
+        if (tok(pos_) == "<") skip_angles();
+        continue;  // the templated declaration follows normally
+      }
+      if (t == "using" || t == "typedef" || t == "friend" ||
+          t == "static_assert" || t == "extern") {
+        skip_to_semicolon();
+        continue;
+      }
+      if (t == "enum") {
+        // enum [class|struct] [Name] [: type] { ... } ;  — enumerators are
+        // not fields; skip the whole thing.
+        while (!at_end() && tok(pos_) != "{" && tok(pos_) != ";") ++pos_;
+        if (tok(pos_) == "{") skip_balanced("{", "}");
+        skip_to_semicolon();
+        continue;
+      }
+      if (t == "class" || t == "struct" || t == "union") {
+        parse_class();
+        continue;
+      }
+      parse_declaration(owner);
+    }
+  }
+
+  /// Skips a balanced `<...>` (tokenizer emits single `<`/`>` chars).
+  void skip_angles() {
+    int depth = 0;
+    while (!at_end()) {
+      const std::string_view t = tok(pos_);
+      if (t == "<") ++depth;
+      else if (t == ">" && --depth == 0) {
+        ++pos_;
+        return;
+      } else if (t == ";" || t == "{") {
+        return;  // not a template argument list after all; bail
+      }
+      ++pos_;
+    }
+  }
+
+  /// `class|struct|union Name [final] [: bases] { ... } [decls];`
+  void parse_class() {
+    ++pos_;  // class/struct/union
+    // Attributes / export macros before the name are rare here; take the
+    // last identifier before `:`/`{`/`;` as the class name.
+    std::string name;
+    int name_line = 0;
+    while (!at_end()) {
+      const std::string_view t = tok(pos_);
+      if (t == ":" || t == "{" || t == ";" || t == "<") break;
+      if (specscan::is_identifier(t) && t != "final" && t != "alignas") {
+        name = std::string(t);
+        name_line = line(pos_);
+      }
+      ++pos_;
+    }
+    if (tok(pos_) == "<") {
+      // Specialisation `class X<int> ...`; skip the arguments.
+      skip_angles();
+    }
+    if (tok(pos_) == ";" || name.empty()) {
+      // Forward declaration (or anonymous aggregate we don't index —
+      // consume its body so braces stay balanced).
+      if (tok(pos_) == "{") skip_balanced("{", "}");
+      skip_to_semicolon();
+      return;
+    }
+    ClassInfo info;
+    info.name = name;
+    info.path = path_;
+    info.line = name_line;
+    if (tok(pos_) == ":") {
+      ++pos_;
+      // Base list: identifiers up to `{`; keep the last component of each
+      // qualified name (`spec::SyncIterativeApp` -> "SyncIterativeApp").
+      std::string last;
+      while (!at_end() && tok(pos_) != "{" && tok(pos_) != ";") {
+        const std::string_view t = tok(pos_);
+        if (t == "<") {
+          skip_angles();
+          continue;
+        }
+        if (specscan::is_identifier(t) && t != "public" && t != "private" &&
+            t != "protected" && t != "virtual")
+          last = std::string(t);
+        if (t == ",") {
+          if (!last.empty()) info.bases.push_back(last);
+          last.clear();
+        }
+        ++pos_;
+      }
+      if (!last.empty()) info.bases.push_back(last);
+    }
+    if (tok(pos_) != "{") {  // e.g. `class X final;`
+      skip_to_semicolon();
+      return;
+    }
+    ++pos_;  // {
+    const std::size_t class_index = classes_.size();
+    classes_.push_back(std::move(info));
+    class_scope_ = class_index;
+    parse_scope(name);
+    class_scope_ = static_cast<std::size_t>(-1);
+    skip_to_semicolon();  // trailing `;` (and any declarator — unindexed)
+  }
+
+  /// A declaration that is not a class/namespace/using: either a function
+  /// (indexed, body consumed) or a variable/field (field indexed when at
+  /// class scope).  Starts at pos_; consumes through the declaration.
+  void parse_declaration(const std::string& owner) {
+    const std::size_t head_begin = pos_;
+    bool saw_static = false;
+    bool saw_mutable = false;
+    // Walk the declaration head: stop at `(` after an identifier (function
+    // declarator), or at `;` / `=` / `{` (variable or field).
+    std::string last_ident;       // most recent top-level identifier
+    std::string qualifier;        // identifier before the most recent `::`
+    bool ident_qualified = false; // last_ident directly followed the `::`
+    int last_ident_line = 0;
+    bool after_array = false;     // saw `[` after the declarator name
+    while (!at_end()) {
+      const std::string_view t = tok(pos_);
+      if (t == ";") {
+        if (pos_ > head_begin)
+          record_field(owner, last_ident, last_ident_line, saw_static,
+                       saw_mutable);
+        ++pos_;
+        return;
+      }
+      if (t == "=") {
+        record_field(owner, last_ident, last_ident_line, saw_static,
+                     saw_mutable);
+        skip_to_semicolon();
+        return;
+      }
+      if (t == "{") {
+        // Brace initializer (`int x_{0};`) — a field; skip the braces.
+        record_field(owner, last_ident, last_ident_line, saw_static,
+                     saw_mutable);
+        skip_balanced("{", "}");
+        skip_to_semicolon();
+        return;
+      }
+      if (t == "}") return;  // malformed / end of scope; let caller handle
+      if (t == "(") {
+        if (!last_ident.empty() && !after_array) {
+          // `Cls::name(` carries its owner; `std::vector<T> name(` must not
+          // inherit the return type's qualifier.
+          parse_function_tail(owner, ident_qualified ? qualifier : "",
+                              last_ident, last_ident_line);
+          return;
+        }
+        skip_balanced("(", ")");  // e.g. macro call or weird declarator
+        continue;
+      }
+      if (t == "<") {
+        skip_angles();
+        continue;
+      }
+      if (t == "[") {
+        skip_balanced("[", "]");
+        if (!last_ident.empty()) after_array = true;
+        continue;
+      }
+      if (t == "static") saw_static = true;
+      if (t == "mutable") saw_mutable = true;
+      if (specscan::is_identifier(t)) {
+        if (t == "operator") {
+          // Operator function: name is `operator` + following punctuation.
+          std::string op_name = "operator";
+          ++pos_;
+          while (!at_end() && tok(pos_) != "(") {
+            op_name += std::string(tok(pos_));
+            ++pos_;
+          }
+          if (tok(pos_) == "(") {
+            // `operator()` names the call operator, then its parameter
+            // list follows in a second paren group.
+            if (op_name == "operator" && tok(pos_ + 1) == ")") {
+              op_name = "operator()";
+              pos_ += 2;
+            }
+            if (tok(pos_) == "(")
+              parse_function_tail(owner, qualifier, op_name, line(pos_));
+          }
+          return;
+        }
+        if (tok(pos_ + 1) == "::") {
+          qualifier = std::string(t);
+          pos_ += 2;
+          continue;
+        }
+        last_ident = std::string(t);
+        ident_qualified = pos_ > 0 && tok(pos_ - 1) == "::";
+        last_ident_line = line(pos_);
+      }
+      ++pos_;
+    }
+  }
+
+  void record_field(const std::string& owner, const std::string& name,
+                    int name_line, bool is_static, bool is_mutable) {
+    if (owner.empty() || name.empty()) return;
+    if (class_scope_ >= classes_.size()) return;
+    if (classes_[class_scope_].name != owner) return;
+    Field f;
+    f.name = name;
+    f.line = name_line;
+    f.is_static = is_static;
+    f.is_mutable = is_mutable;
+    classes_[class_scope_].fields.push_back(std::move(f));
+  }
+
+  /// At the `(` of a function declarator: consume the parameter list, any
+  /// trailing qualifiers / trailing-return / constructor initialiser list,
+  /// and the body if present (indexing the symbol).
+  void parse_function_tail(const std::string& owner,
+                           const std::string& qualifier,
+                           const std::string& name, int name_line) {
+    skip_balanced("(", ")");
+    // Trailing qualifiers and trailing return type.
+    while (!at_end()) {
+      const std::string_view t = tok(pos_);
+      if (kFnQualifiers.count(t) != 0) {
+        ++pos_;
+        if (tok(pos_) == "(") skip_balanced("(", ")");  // noexcept(...)
+        continue;
+      }
+      if (t == "->") {  // trailing return type
+        ++pos_;
+        while (!at_end() && tok(pos_) != "{" && tok(pos_) != ";" &&
+               tok(pos_) != "=") {
+          if (tok(pos_) == "<") skip_angles();
+          else ++pos_;
+        }
+        continue;
+      }
+      break;
+    }
+    const std::string_view t = tok(pos_);
+    if (t == ";") {
+      ++pos_;
+      return;  // declaration only
+    }
+    if (t == "=") {  // = 0; / = default; / = delete;
+      skip_to_semicolon();
+      return;
+    }
+    if (t == ":") {
+      // Constructor initialiser list: `: member(init), member{init}, ... {`.
+      ++pos_;
+      while (!at_end() && tok(pos_) != "{") {
+        if (tok(pos_) == "(") skip_balanced("(", ")");
+        else if (tok(pos_) == "<") skip_angles();
+        else ++pos_;
+        // A `{` directly after a member name is a brace initialiser, not
+        // the body: detect `ident {` and consume the braces.
+        if (tok(pos_) == "{" && pos_ > 0 &&
+            (specscan::is_identifier(tok(pos_ - 1)) || tok(pos_ - 1) == ">" ||
+             tok(pos_ - 1) == ")")) {
+          // Body begins only after `)` or `}` of the last initialiser —
+          // when the previous token is the member name or a template-id,
+          // these braces initialise it.
+          if (specscan::is_identifier(tok(pos_ - 1)))
+            skip_balanced("{", "}");
+          else
+            break;
+        }
+      }
+    }
+    if (tok(pos_) == "{") {
+      index_function_body(owner, qualifier, name, name_line);
+      return;
+    }
+    // try-blocks and anything else unrecognised: consume conservatively.
+    if (tok(pos_) == "try") {
+      ++pos_;
+      if (tok(pos_) == "{") index_function_body(owner, qualifier, name,
+                                                name_line);
+      return;
+    }
+  }
+
+  /// pos_ is at the `{` of a function body: record the symbol and collect
+  /// its call references while consuming to the matching `}`.
+  void index_function_body(const std::string& owner,
+                           const std::string& qualifier,
+                           const std::string& name, int name_line) {
+    Symbol sym;
+    sym.name = name;
+    sym.owner = !qualifier.empty() ? qualifier : owner;
+    sym.path = path_;
+    sym.line = name_line;
+    sym.body_open_line = line(pos_);
+    sym.tok_begin = pos_;
+    std::set<std::string> calls;
+    int depth = 0;
+    while (!at_end()) {
+      const std::string_view t = tok(pos_);
+      if (t == "{") ++depth;
+      else if (t == "}") {
+        if (--depth == 0) {
+          ++pos_;
+          break;
+        }
+      } else if (specscan::is_identifier(t) && kNotACall.count(t) == 0) {
+        if (tok(pos_ + 1) == "(") {
+          calls.insert(std::string(t));
+        } else if (tok(pos_ + 1) == "<") {
+          // `read_span<double>()` — look across one balanced template
+          // argument list for the call parens.  Bounded, and bails on
+          // statement boundaries so comparisons rarely masquerade.
+          std::size_t j = pos_ + 1;
+          int depth = 0;
+          const std::size_t limit = std::min(toks_.size(), pos_ + 40);
+          while (j < limit) {
+            const std::string_view u = tok(j);
+            if (u == "<") ++depth;
+            else if (u == ">" && --depth == 0) break;
+            else if (u == ";" || u == "{" || u == "}" || u == ")") {
+              depth = -1;
+              break;
+            }
+            ++j;
+          }
+          if (depth == 0 && tok(j + 1) == "(") calls.insert(std::string(t));
+        }
+      }
+      ++pos_;
+    }
+    sym.tok_end = pos_;
+    sym.calls.assign(calls.begin(), calls.end());
+    symbol_indices_.push_back(symbols_.size());
+    symbols_.push_back(std::move(sym));
+  }
+
+  const std::vector<Token>& toks_;
+  const std::string& path_;
+  std::size_t pos_ = 0;
+  std::size_t class_scope_ = static_cast<std::size_t>(-1);
+  std::vector<Symbol>& symbols_;
+  std::vector<ClassInfo>& classes_;
+  std::vector<std::size_t>& symbol_indices_;
+};
+
+}  // namespace
+
+void SymbolTable::add_file(std::string logical_path,
+                           std::string_view content) {
+  std::replace(logical_path.begin(), logical_path.end(), '\\', '/');
+  FileIndex file;
+  file.path = std::move(logical_path);
+  file.lines = specscan::scan(content);
+  file.tokens = specscan::tokenize(file.lines);
+  Parser parser(file, symbols_, classes_, file.symbols);
+  parser.run();
+  for (const std::size_t s : file.symbols)
+    by_name_[symbols_[s].name].push_back(s);
+  for (std::size_t c = 0; c < classes_.size(); ++c)
+    class_by_name_.emplace(classes_[c].name, c);  // first definition wins
+  files_.push_back(std::move(file));
+}
+
+const std::vector<std::size_t>& SymbolTable::by_name(
+    std::string_view name) const {
+  static const std::vector<std::size_t> kEmpty;
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::size_t> SymbolTable::methods_of(
+    std::string_view owner) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < symbols_.size(); ++i)
+    if (symbols_[i].owner == owner) out.push_back(i);
+  return out;
+}
+
+const ClassInfo* SymbolTable::find_class(std::string_view name) const {
+  const auto it = class_by_name_.find(name);
+  return it == class_by_name_.end() ? nullptr : &classes_[it->second];
+}
+
+std::vector<const ClassInfo*> SymbolTable::derived_from(
+    std::string_view base) const {
+  std::vector<const ClassInfo*> out;
+  std::set<std::string_view> reached;
+  reached.insert(base);
+  // Fixed-point over the (small) class list; order of discovery is the
+  // deterministic class index order.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& cls : classes_) {
+      if (reached.count(cls.name) != 0) continue;
+      for (const auto& b : cls.bases) {
+        if (reached.count(std::string_view(b)) != 0) {
+          reached.insert(cls.name);
+          out.push_back(&cls);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  if (const ClassInfo* self = find_class(base)) out.insert(out.begin(), self);
+  return out;
+}
+
+}  // namespace specana

@@ -1,0 +1,112 @@
+// Symbol pass of specomp-analyze: a lightweight cross-TU index of the
+// functions, methods and classes in the tree, plus the call references that
+// connect them.
+//
+// This is a token-level construction, not an AST: function definitions are
+// recognised by the `name ( params ) [qualifiers] {` shape at namespace or
+// class scope (constructor initialiser lists and trailing-return types are
+// skipped structurally), classes by `class|struct Name [: bases] {`, and a
+// call reference is any identifier followed by `(` inside a function body.
+// Calls resolve by name — a reference `foo(` links to every indexed symbol
+// whose unqualified name is `foo`, across all translation units.  That is a
+// deliberate over-approximation: for the taint pass a spurious edge can only
+// produce a false positive (silenced with `// specomp: pure` plus a
+// justification), never a missed propagation.
+//
+// The index powers two whole-program analyses (analyze_core.hpp):
+//   * the nondeterminism taint pass walks call edges backwards from seed
+//     sites to decide which replay-path functions may observe wall clocks,
+//     ambient randomness, thread ids, pointer values or unordered iteration;
+//   * the rollback-safety pass pairs each SyncIterativeApp subclass (found
+//     via the class index and its base list) with the member-field mutation
+//     sets of its methods, which live in other files than the class body.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scanner.hpp"
+
+namespace specana {
+
+/// One function or method definition (has a body in the scanned file).
+struct Symbol {
+  std::string name;       // unqualified, e.g. "run"
+  std::string owner;      // enclosing/qualifying class, "" for free functions
+  std::string path;       // logical path of the defining file
+  int line = 0;           // line of the name token (1-based)
+  int body_open_line = 0; // line of the opening '{'
+  /// Token range [begin, end) of the body in the file's token stream,
+  /// including the braces; later passes re-scan it with their own rules.
+  std::size_t tok_begin = 0;
+  std::size_t tok_end = 0;
+  /// Unqualified names of call references in the body, sorted + deduped.
+  std::vector<std::string> calls;
+
+  std::string qualified() const {
+    return owner.empty() ? name : owner + "::" + name;
+  }
+};
+
+/// One member field of a class definition.
+struct Field {
+  std::string name;
+  int line = 0;
+  bool is_static = false;
+  bool is_mutable = false;
+};
+
+/// One class/struct definition with its base classes and fields.
+struct ClassInfo {
+  std::string name;                 // unqualified
+  std::string path;
+  int line = 0;
+  std::vector<std::string> bases;   // unqualified base names
+  std::vector<Field> fields;
+};
+
+/// Per-file scan artifacts kept alive for the analysis passes (tokens are
+/// string_views into `lines`).
+struct FileIndex {
+  std::string path;
+  std::vector<specscan::ScannedLine> lines;
+  std::vector<specscan::Token> tokens;
+  std::vector<std::size_t> symbols;  // indices into SymbolTable::symbols
+};
+
+/// The cross-TU index.  Files are added one at a time (tests feed synthetic
+/// content); lookups are by unqualified name.
+class SymbolTable {
+ public:
+  /// Scans `content` and indexes its symbols and classes under
+  /// `logical_path` (repo-relative, '/'-separated).
+  void add_file(std::string logical_path, std::string_view content);
+
+  const std::vector<FileIndex>& files() const noexcept { return files_; }
+  const std::vector<Symbol>& symbols() const noexcept { return symbols_; }
+  const std::vector<ClassInfo>& classes() const noexcept { return classes_; }
+
+  /// Indices of symbols with the given unqualified name (sorted by index).
+  const std::vector<std::size_t>& by_name(std::string_view name) const;
+  /// Indices of symbols owned by the given class name.
+  std::vector<std::size_t> methods_of(std::string_view owner) const;
+  /// The class with the given unqualified name, or nullptr.  If several
+  /// files define the same class name, the first indexed wins.
+  const ClassInfo* find_class(std::string_view name) const;
+
+  /// Classes transitively derived from `base` (including `base` itself if
+  /// indexed).  Name-based, like call resolution.
+  std::vector<const ClassInfo*> derived_from(std::string_view base) const;
+
+ private:
+  std::vector<FileIndex> files_;
+  std::vector<Symbol> symbols_;
+  std::vector<ClassInfo> classes_;
+  std::map<std::string, std::vector<std::size_t>, std::less<>> by_name_;
+  std::map<std::string, std::size_t, std::less<>> class_by_name_;
+};
+
+}  // namespace specana

@@ -1,14 +1,18 @@
 #include "lint_core.hpp"
 
+#include "scanner.hpp"
+
 #include <algorithm>
-#include <array>
 #include <cctype>
-#include <fstream>
 #include <map>
 #include <set>
-#include <sstream>
 
 namespace speclint {
+
+using specscan::ScannedLine;
+using specscan::Token;
+using specscan::scan;
+using specscan::tokenize;
 
 namespace {
 
@@ -99,231 +103,6 @@ const RuleSpec* find_rule(std::string_view id) {
   for (const auto& r : kRules)
     if (r.id == id) return &r;
   return nullptr;
-}
-
-// ---------------------------------------------------------------------------
-// Scanner: strips comments / string literals / preprocessor lines, keeping
-// the comment text separately so suppression directives stay parseable.
-// ---------------------------------------------------------------------------
-
-struct ScannedLine {
-  std::string code;     // literals and comments blanked to spaces
-  std::string comment;  // concatenated comment text of this line
-};
-
-std::vector<ScannedLine> scan(std::string_view content) {
-  std::vector<ScannedLine> lines;
-  ScannedLine cur;
-  enum class State { Code, BlockComment, String, Char, RawString };
-  State state = State::Code;
-  std::string raw_delim;   // for raw strings: the ")delim" terminator
-  bool preproc = false;    // current logical line is a preprocessor directive
-  bool line_has_code = false;
-
-  auto flush_line = [&] {
-    // Preprocessor text must not feed the token rules (e.g. `#include <new>`).
-    if (preproc) cur.code.assign(cur.code.size(), ' ');
-    lines.push_back(std::move(cur));
-    cur = ScannedLine{};
-    line_has_code = false;
-  };
-
-  std::size_t i = 0;
-  const std::size_t n = content.size();
-  bool continues_preproc = false;
-  while (i <= n) {
-    if (i == n || content[i] == '\n') {
-      // End of physical line: a preprocessor line continues with backslash.
-      bool backslash = false;
-      if (i > 0) {
-        std::size_t j = i;
-        while (j > 0 && (content[j - 1] == '\r')) --j;
-        backslash = j > 0 && content[j - 1] == '\\';
-      }
-      continues_preproc = preproc && backslash && state == State::Code;
-      flush_line();
-      preproc = continues_preproc;
-      if (i == n) break;
-      ++i;
-      continue;
-    }
-    const char c = content[i];
-    const char next = i + 1 < n ? content[i + 1] : '\0';
-    switch (state) {
-      case State::Code: {
-        if (!line_has_code && !preproc) {
-          if (std::isspace(static_cast<unsigned char>(c))) {
-            cur.code.push_back(' ');
-            ++i;
-            continue;
-          }
-          line_has_code = true;
-          if (c == '#') preproc = true;
-        }
-        if (c == '/' && next == '/') {
-          // Line comment: capture the text, blank the code.
-          std::size_t end = content.find('\n', i);
-          if (end == std::string_view::npos) end = n;
-          cur.comment.append(content.substr(i + 2, end - i - 2));
-          cur.code.append(end - i, ' ');
-          i = end;
-          continue;
-        }
-        if (c == '/' && next == '*') {
-          state = State::BlockComment;
-          cur.code.append(2, ' ');
-          i += 2;
-          continue;
-        }
-        if (c == '"') {
-          // Raw string?  Look back over the prefix (R, uR, u8R, LR, UR).
-          std::size_t p = i;
-          bool raw = p > 0 && content[p - 1] == 'R';
-          if (raw) {
-            // The R must itself start an identifier-ish prefix, not end one
-            // (e.g. `macroR"` is not a raw string in practice — good enough).
-            std::size_t q = p - 1;
-            while (q > 0 && (std::isalnum(static_cast<unsigned char>(
-                                 content[q - 1])) ||
-                             content[q - 1] == '_'))
-              --q;
-            const std::string_view prefix = content.substr(q, p - q);
-            raw = prefix == "R" || prefix == "uR" || prefix == "u8R" ||
-                  prefix == "LR" || prefix == "UR";
-          }
-          if (raw) {
-            std::size_t delim_end = i + 1;
-            while (delim_end < n && content[delim_end] != '(') ++delim_end;
-            raw_delim = ")";
-            raw_delim.append(content.substr(i + 1, delim_end - i - 1));
-            raw_delim.push_back('"');
-            state = State::RawString;
-            cur.code.append(delim_end - i + 1 <= n ? delim_end - i + 1 : 1, ' ');
-            i = delim_end + 1;
-            continue;
-          }
-          state = State::String;
-          cur.code.push_back(' ');
-          ++i;
-          continue;
-        }
-        if (c == '\'') {
-          // Digit separator / literal suffix (1'000) — not a char literal.
-          if (i > 0 && (std::isalnum(static_cast<unsigned char>(
-                            content[i - 1])) ||
-                        content[i - 1] == '_')) {
-            cur.code.push_back(' ');
-            ++i;
-            continue;
-          }
-          state = State::Char;
-          cur.code.push_back(' ');
-          ++i;
-          continue;
-        }
-        cur.code.push_back(c);
-        ++i;
-        break;
-      }
-      case State::BlockComment: {
-        if (c == '*' && next == '/') {
-          state = State::Code;
-          cur.code.append(2, ' ');
-          i += 2;
-        } else {
-          cur.comment.push_back(c == '\t' ? ' ' : c);
-          cur.code.push_back(' ');
-          ++i;
-        }
-        break;
-      }
-      case State::String:
-      case State::Char: {
-        const char quote = state == State::String ? '"' : '\'';
-        if (c == '\\') {
-          cur.code.append(2, ' ');
-          i += 2;
-        } else if (c == quote) {
-          state = State::Code;
-          cur.code.push_back(' ');
-          ++i;
-        } else {
-          cur.code.push_back(' ');
-          ++i;
-        }
-        break;
-      }
-      case State::RawString: {
-        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          cur.code.append(raw_delim.size(), ' ');
-          i += raw_delim.size();
-          state = State::Code;
-        } else {
-          cur.code.push_back(' ');
-          ++i;
-        }
-        break;
-      }
-    }
-  }
-  return lines;
-}
-
-// ---------------------------------------------------------------------------
-// Tokenizer: identifiers + punctuation (with "::", "->" as single tokens).
-// ---------------------------------------------------------------------------
-
-struct Token {
-  std::string_view text;
-  int line = 0;  // 1-based
-};
-
-std::vector<Token> tokenize(const std::vector<ScannedLine>& lines) {
-  std::vector<Token> tokens;
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    const std::string& code = lines[li].code;
-    const int line_no = static_cast<int>(li) + 1;
-    std::size_t i = 0;
-    while (i < code.size()) {
-      const char c = code[i];
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        ++i;
-        continue;
-      }
-      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-        std::size_t j = i + 1;
-        while (j < code.size() && (std::isalnum(static_cast<unsigned char>(
-                                       code[j])) ||
-                                   code[j] == '_'))
-          ++j;
-        tokens.push_back({std::string_view(code).substr(i, j - i), line_no});
-        i = j;
-        continue;
-      }
-      if (std::isdigit(static_cast<unsigned char>(c))) {
-        std::size_t j = i + 1;
-        while (j < code.size() && (std::isalnum(static_cast<unsigned char>(
-                                       code[j])) ||
-                                   code[j] == '.' || code[j] == '_'))
-          ++j;
-        i = j;  // numbers never matter to the rules
-        continue;
-      }
-      if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
-        tokens.push_back({std::string_view(code).substr(i, 2), line_no});
-        i += 2;
-        continue;
-      }
-      if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
-        tokens.push_back({std::string_view(code).substr(i, 2), line_no});
-        i += 2;
-        continue;
-      }
-      tokens.push_back({std::string_view(code).substr(i, 1), line_no});
-      ++i;
-    }
-  }
-  return tokens;
 }
 
 // ---------------------------------------------------------------------------
@@ -667,42 +446,15 @@ std::size_t lint_tree(const std::filesystem::path& root,
                       const std::vector<std::string>& subdirs,
                       std::vector<Finding>& out) {
   namespace fs = std::filesystem;
-  std::size_t files = 0;
-  std::vector<fs::path> paths;
-  for (const auto& sub : subdirs) {
-    const fs::path dir = root / sub;
-    if (!fs::exists(dir)) continue;
-    for (auto it = fs::recursive_directory_iterator(dir);
-         it != fs::recursive_directory_iterator(); ++it) {
-      const fs::path& p = it->path();
-      const std::string name = p.filename().string();
-      if (it->is_directory()) {
-        // Skip build trees and the lint test corpus (fixtures are violations
-        // on purpose).
-        if (name.starts_with("build") || name == "fixtures")
-          it.disable_recursion_pending();
-        continue;
-      }
-      const std::string ext = p.extension().string();
-      if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
-          ext == ".hh")
-        paths.push_back(p);
-    }
-  }
-  std::sort(paths.begin(), paths.end());
+  const std::vector<fs::path> paths = specscan::collect_sources(root, subdirs);
   for (const auto& p : paths) {
-    std::ifstream in(p, std::ios::binary);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const std::string content = buf.str();
-    const std::string rel =
-        fs::relative(p, root).generic_string();
+    const std::string content = specscan::read_file(p);
+    const std::string rel = fs::relative(p, root).generic_string();
     auto findings = lint_content(rel, content);
     out.insert(out.end(), std::make_move_iterator(findings.begin()),
                std::make_move_iterator(findings.end()));
-    ++files;
   }
-  return files;
+  return paths.size();
 }
 
 std::string format_finding(const Finding& f) {

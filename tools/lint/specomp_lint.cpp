@@ -8,12 +8,12 @@
 // the rule semantics and the suppression-directive policy.
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "lint_core.hpp"
+#include "obs/atomic_file.hpp"
 
 namespace {
 
@@ -85,8 +85,14 @@ int main(int argc, char** argv) {
 
   std::fputs(report.c_str(), findings.empty() ? stdout : stderr);
   if (!out_path.empty()) {
-    std::ofstream out(out_path);
-    out << report;
+    // Atomic (stage + rename) so CI never uploads a truncated report.
+    const std::string headed =
+        "# specomp-lint report\n# schema_version: 1\n" + report;
+    if (!specomp::obs::atomic_write_file(out_path, headed)) {
+      std::fprintf(stderr, "specomp-lint: cannot write %s\n",
+                   out_path.c_str());
+      return 2;
+    }
   }
   return findings.empty() ? 0 : 1;
 }
