@@ -1,75 +1,381 @@
-// Extension bench (paper future work): run-time selection of the forward
-// window.  The paper tunes FW by hand per platform; the adaptive controller
-// grows the window while a rank is blocking and shrinks it while guesses
-// fail.  Compared here against every fixed window on the calibrated testbed,
-// in a calm and in a spiky network regime.
+// Adaptive-vs-static forward-window study (DESIGN.md §13, EXPERIMENTS.md).
+//
+// The paper tunes FW by hand per platform; this bench races every run-time
+// controller against every fixed window on the calibrated Section-5 testbed
+// over the Fig. 8 axes (processor count) in three network regimes:
+//
+//   * calm  — the calibrated testbed as measured (5.5 s + Exp(0.6 s));
+//   * spiky — bursty overload: occasional multi-second delay spikes;
+//   * stall — the PR-5/6 fault plan (`stall:1@5+4`): rank 1 freezes for
+//     4 virtual seconds at t = 5 s, with graceful degradation armed.
+//
+// Controllers: `heuristic` (wait/failure signal thresholds), `hill-climb`
+// (direct iteration-time descent) and `model` — the ModelWindowPolicy that
+// computes FW from the live delay/service distribution sketches with a
+// rollback-cascade guard.  A θ section additionally races the fixed check
+// threshold against the rejection-band AdaptiveThetaPolicy.
+//
+// Acceptance (checked in-binary, exit 1 on violation):
+//   * on every calm grid point the model policy lands within 5% of the best
+//     fixed window's time per iteration — no hand tuning;
+//   * under the stall plan the model policy's max rollback-cascade depth
+//     never exceeds the fixed FW = 1 baseline's.
+//
+// Flags:
+//   --quick              small grid for CI smoke (p = 8 only, fewer iters)
+//   --jobs=N             parallel sweep lanes (results identical at any N)
+//   --iterations=N       N-body iterations per cell
+//   --out=FILE           report path (default BENCH_adaptive.json)
+//   --controller-trace=F write the model policy's per-iteration controller
+//                        trace (window, θ, cascade depth, decision) to F
+//
+// Exit codes: 0 ok, 1 acceptance check failed, 2 could not write a file.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "nbody/scenario.hpp"
-#include "obs/artifacts.hpp"
+#include "obs/atomic_file.hpp"
+#include "obs/json.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/sweep.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
-int main(int argc, char** argv) {
-  using namespace specomp;
-  using namespace specomp::nbody;
-  const support::Cli cli(argc, argv);
-  obs::ArtifactWriter artifacts("bench_adaptive_fw", cli);
-  const long iterations = cli.get_int("iterations", 18);
-  const auto p = static_cast<std::size_t>(cli.get_int("p", 16));
+namespace {
 
-  auto run_one = [&](int fw, const char* policy, bool spiky) {
-    NBodyScenario s = paper_testbed_scenario(p, iterations);
-    const bool fixed = std::string(policy) == "fixed";
-    s.algorithm =
-        (fixed && fw == 0) ? Algorithm::Fig7Baseline : Algorithm::Speculative;
-    s.forward_window = fw;
-    s.adaptive_window = std::string(policy) == "adaptive";
-    s.hill_climb_window = std::string(policy) == "hill-climb";
-    if (spiky) {
-      // Heavier, burstier delays: occasional multi-second stalls on top of
-      // the base latency.
-      auto composite = std::make_shared<net::CompositeLatency>();
-      composite->add(std::make_unique<net::ExponentialJitter>(
-          des::SimTime::millis(600)));
-      composite->add(std::make_unique<net::RandomSpike>(
-          0.02, des::SimTime::seconds(8)));
-      s.sim.channel.extra_delay = composite;
-    }
-    return run_scenario(s);
-  };
+using namespace specomp;
+using namespace specomp::nbody;
 
-  for (const bool spiky : {false, true}) {
-    std::printf("Adaptive forward window — %s network (%zu procs)\n\n",
-                spiky ? "spiky" : "calm", p);
-    support::Table table({"policy", "time/iter (s)", "comm/iter (s)",
-                          "correct/iter (s)", "k %", "max FW used"});
-    auto add_row = [&table](const std::string& name, const NBodyRunResult& run) {
-      table.row()
-          .add(name)
-          .add(run.time_per_iteration, 2)
-          .add(run.mean_comm_per_iteration, 2)
-          .add(run.mean_correct_per_iteration, 3)
-          .add(run.spec.failure_fraction() * 100.0, 2)
-          .add(run.spec.max_window_used);
-    };
-    for (const int fw : {0, 1, 2, 3})
-      add_row("fixed FW=" + std::to_string(fw), run_one(fw, "fixed", spiky));
-    add_row("adaptive", run_one(1, "adaptive", spiky));
-    add_row("hill-climb", run_one(1, "hill-climb", spiky));
-    std::cout << table << "\n";
-    artifacts.add_table(spiky ? "adaptive_spiky" : "adaptive_calm", table);
+constexpr double kAcceptSlack = 1.05;  // model within 5% of best fixed
+
+struct Cell {
+  std::string regime;  // "calm" | "spiky" | "stall"
+  std::size_t p;
+  std::string policy;  // "fixed" | "heuristic" | "hill-climb" | "model"
+  int fw;              // fixed window, or the controllers' starting window
+};
+
+struct CellResult {
+  double time_per_iteration = 0.0;
+  double comm_per_iteration = 0.0;
+  double correct_per_iteration = 0.0;
+  double failure_fraction = 0.0;
+  int max_window_used = 0;
+  int max_cascade_depth = 0;
+  std::uint64_t rollbacks = 0;
+  std::vector<spec::ControlSample> control_log;
+};
+
+NBodyScenario make_scenario(const Cell& cell, long iterations) {
+  NBodyScenario s = paper_testbed_scenario(cell.p, iterations);
+  s.forward_window = cell.fw;
+  if (cell.policy == "fixed") {
+    if (cell.fw == 0) s.algorithm = Algorithm::Fig7Baseline;
+  } else {
+    s.window_policy = cell.policy;
+    s.record_control_log = cell.policy == "model";
   }
-  std::printf(
-      "expectation: both controllers beat the no-speculation baseline in "
-      "every regime and approach the best fixed window without per-platform "
-      "hand tuning; the hill-climber (optimising iteration time directly) "
-      "handles the wait-vs-correction trade-off better than the "
-      "signal-threshold policy.\n");
-  artifacts.add_entry("processors", obs::Json(p));
-  artifacts.add_entry("iterations", obs::Json(iterations));
+  if (cell.regime == "spiky") {
+    // Bursty overload on top of the calibrated base latency.
+    auto composite = std::make_shared<net::CompositeLatency>();
+    composite->add(
+        std::make_unique<net::ExponentialJitter>(des::SimTime::millis(600)));
+    composite->add(
+        std::make_unique<net::RandomSpike>(0.02, des::SimTime::seconds(8)));
+    s.sim.channel.extra_delay = composite;
+  } else if (cell.regime == "stall") {
+    runtime::FaultPlanConfig config;
+    std::string error;
+    if (!runtime::parse_fault_plan("stall:1@5+4", config, error)) {
+      std::fprintf(stderr, "internal: %s\n", error.c_str());
+      std::abort();
+    }
+    s.sim.fault =
+        std::make_shared<const runtime::FaultPlan>(std::move(config));
+    s.graceful_degradation = true;
+  }
+  return s;
+}
+
+obs::Json control_log_json(const std::vector<spec::ControlSample>& log) {
+  obs::Json rows = obs::Json::array();
+  for (const auto& sample : log) {
+    obs::Json row = obs::Json::object();
+    row.set("iteration", sample.iteration);
+    row.set("window", sample.window);
+    row.set("theta", sample.theta);
+    row.set("cascade_depth", sample.cascade_depth);
+    row.set("decision", std::string(sample.decision));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick");
+  const int jobs = runtime::jobs_from_cli(cli);
+  const long iterations = cli.get_int("iterations", quick ? 12 : 24);
+  const std::string out = cli.get("out", "BENCH_adaptive.json");
+  const std::string trace_out = cli.get("controller-trace", "");
   for (const auto& unknown : cli.unused())
     std::fprintf(stderr, "warning: unknown option --%s\n", unknown.c_str());
-  return artifacts.flush() ? 0 : 1;
+
+  const std::vector<std::size_t> procs =
+      quick ? std::vector<std::size_t>{8} : std::vector<std::size_t>{4, 8, 16};
+  const std::vector<std::string> regimes = {"calm", "spiky", "stall"};
+  const std::vector<std::string> policies = {"heuristic", "hill-climb",
+                                             "model"};
+
+  // Every fixed window plus every controller, at every regime × p.  The
+  // controllers all start from FW = 1 — the point of the study is reaching
+  // the right depth without being told it.
+  std::vector<Cell> cells;
+  for (const auto& regime : regimes)
+    for (const std::size_t p : procs) {
+      for (const int fw : {0, 1, 2, 3}) cells.push_back({regime, p, "fixed", fw});
+      for (const auto& policy : policies) cells.push_back({regime, p, policy, 1});
+    }
+
+  std::printf(
+      "adaptive forward-window study: %zu cells, %ld iterations, jobs=%d%s\n",
+      cells.size(), iterations, jobs, quick ? " (quick)" : "");
+
+  const std::vector<CellResult> results =
+      runtime::sweep_map(cells, jobs, [&](const Cell& cell) {
+        const NBodyRunResult run =
+            run_scenario(make_scenario(cell, iterations));
+        CellResult r;
+        r.time_per_iteration = run.time_per_iteration;
+        r.comm_per_iteration = run.mean_comm_per_iteration;
+        r.correct_per_iteration = run.mean_correct_per_iteration;
+        r.failure_fraction = run.spec.failure_fraction();
+        r.max_window_used = run.spec.max_window_used;
+        r.max_cascade_depth = run.spec.max_cascade_depth;
+        r.rollbacks = run.spec.rollbacks;
+        r.control_log = run.control_log;
+        return r;
+      });
+
+  auto find = [&](const std::string& regime, std::size_t p,
+                  const std::string& policy, int fw) -> const CellResult& {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      if (cells[i].regime == regime && cells[i].p == p &&
+          cells[i].policy == policy && (policy != "fixed" || cells[i].fw == fw))
+        return results[i];
+    std::fprintf(stderr, "internal: cell not found\n");
+    std::abort();
+  };
+
+  obs::Json cells_json = obs::Json::array();
+  for (const auto& regime : regimes) {
+    for (const std::size_t p : procs) {
+      std::printf("\n%s network, p = %zu\n\n", regime.c_str(), p);
+      support::Table table({"policy", "time/iter (s)", "comm/iter (s)",
+                            "correct/iter (s)", "k %", "max FW",
+                            "max cascade"});
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell& cell = cells[i];
+        if (cell.regime != regime || cell.p != p) continue;
+        const CellResult& r = results[i];
+        const std::string name = cell.policy == "fixed"
+                                     ? "fixed FW=" + std::to_string(cell.fw)
+                                     : cell.policy;
+        table.row()
+            .add(name)
+            .add(r.time_per_iteration, 2)
+            .add(r.comm_per_iteration, 2)
+            .add(r.correct_per_iteration, 3)
+            .add(r.failure_fraction * 100.0, 2)
+            .add(r.max_window_used)
+            .add(r.max_cascade_depth);
+
+        obs::Json c = obs::Json::object();
+        c.set("regime", cell.regime);
+        c.set("p", cell.p);
+        c.set("policy", name);
+        c.set("time_per_iteration_seconds", r.time_per_iteration);
+        c.set("comm_per_iteration_seconds", r.comm_per_iteration);
+        c.set("correct_per_iteration_seconds", r.correct_per_iteration);
+        c.set("failure_fraction", r.failure_fraction);
+        c.set("max_window_used", r.max_window_used);
+        c.set("max_cascade_depth", r.max_cascade_depth);
+        c.set("rollbacks", r.rollbacks);
+        cells_json.push_back(std::move(c));
+      }
+      std::cout << table;
+    }
+  }
+
+  // ---- Acceptance: model within 5% of the best fixed window (calm) ----
+  bool accept_calm = true;
+  obs::Json calm_json = obs::Json::array();
+  std::printf("\nacceptance — calm grid, model vs best fixed window:\n");
+  for (const std::size_t p : procs) {
+    double best_fixed = std::numeric_limits<double>::infinity();
+    int best_fw = 0;
+    for (const int fw : {0, 1, 2, 3}) {
+      const double t = find("calm", p, "fixed", fw).time_per_iteration;
+      if (t < best_fixed) {
+        best_fixed = t;
+        best_fw = fw;
+      }
+    }
+    const double model = find("calm", p, "model", 0).time_per_iteration;
+    const double ratio = model / best_fixed;
+    const bool ok = ratio <= kAcceptSlack;
+    accept_calm = accept_calm && ok;
+    std::printf("  p=%2zu: model %.2f s/iter vs best fixed FW=%d %.2f s/iter "
+                "(ratio %.3f) %s\n",
+                p, model, best_fw, best_fixed, ratio, ok ? "OK" : "FAIL");
+    obs::Json row = obs::Json::object();
+    row.set("p", p);
+    row.set("best_fixed_fw", best_fw);
+    row.set("best_fixed_time_per_iteration", best_fixed);
+    row.set("model_time_per_iteration", model);
+    row.set("ratio", ratio);
+    row.set("ok", ok);
+    calm_json.push_back(std::move(row));
+  }
+
+  // ---- Acceptance: cascade containment under the stall plan ----
+  bool accept_cascade = true;
+  obs::Json cascade_json = obs::Json::array();
+  std::printf("\nacceptance — stall plan, model cascade depth vs fixed "
+              "FW=1:\n");
+  for (const std::size_t p : procs) {
+    const int fixed1 = find("stall", p, "fixed", 1).max_cascade_depth;
+    const int model = find("stall", p, "model", 0).max_cascade_depth;
+    const bool ok = model <= std::max(fixed1, 1);
+    accept_cascade = accept_cascade && ok;
+    std::printf("  p=%2zu: model max cascade %d vs fixed FW=1 %d %s\n", p,
+                model, fixed1, ok ? "OK" : "FAIL");
+    obs::Json row = obs::Json::object();
+    row.set("p", p);
+    row.set("fixed_fw1_max_cascade_depth", fixed1);
+    row.set("model_max_cascade_depth", model);
+    row.set("ok", ok);
+    cascade_json.push_back(std::move(row));
+  }
+
+  // ---- θ adaptation: fixed vs rejection-band controller ----
+  // FW = 2 at the largest p with a deliberately mis-tuned θ, eight times
+  // tighter than the calibrated default: the static run pays rollback for
+  // accuracy nobody asked for, while the band controller widens θ back
+  // until the rejection fraction re-enters the target band.
+  const std::size_t theta_p = procs.back();
+  const double theta_mistuned = 1.25e-3;
+  obs::Json theta_json = obs::Json::array();
+  std::printf("\nθ adaptation (p = %zu, FW = 2, mis-tuned θ = %g):\n\n",
+              theta_p, theta_mistuned);
+  support::Table theta_table({"theta policy", "time/iter (s)", "k %",
+                              "theta range", "adjustments"});
+  for (const std::string policy : {"static", "adaptive"}) {
+    NBodyScenario s = paper_testbed_scenario(theta_p, iterations);
+    s.forward_window = 2;
+    s.theta = theta_mistuned;
+    if (policy != "static") s.theta_policy = policy;
+    const NBodyRunResult run = run_scenario(s);
+    char range[64];
+    std::snprintf(range, sizeof range, "[%g, %g]", run.spec.theta_min_used,
+                  run.spec.theta_max_used);
+    theta_table.row()
+        .add(policy)
+        .add(run.time_per_iteration, 2)
+        .add(run.spec.failure_fraction() * 100.0, 2)
+        .add(range)
+        .add(run.spec.theta_adjustments);
+    obs::Json row = obs::Json::object();
+    row.set("theta_policy", policy);
+    row.set("time_per_iteration_seconds", run.time_per_iteration);
+    row.set("failure_fraction", run.spec.failure_fraction());
+    row.set("theta_min_used", run.spec.theta_min_used);
+    row.set("theta_max_used", run.spec.theta_max_used);
+    row.set("theta_adjustments", run.spec.theta_adjustments);
+    theta_json.push_back(std::move(row));
+  }
+  std::cout << theta_table;
+
+  // ---- Controller trace (the model policy's decision sequence) ----
+  if (!trace_out.empty()) {
+    obs::Json trace = obs::Json::object();
+    trace.set("schema", "specomp.controller_trace.v1");
+    trace.set("schema_version", 1);
+    obs::Json runs = obs::Json::array();
+    for (const auto& regime : regimes) {
+      const CellResult& r = find(regime, procs.back(), "model", 0);
+      obs::Json entry = obs::Json::object();
+      entry.set("regime", regime);
+      entry.set("p", procs.back());
+      entry.set("samples", control_log_json(r.control_log));
+      runs.push_back(std::move(entry));
+    }
+    trace.set("runs", std::move(runs));
+    if (!obs::atomic_write_file(trace_out, trace.dump(2) + "\n")) {
+      std::fprintf(stderr, "error: could not write %s\n", trace_out.c_str());
+      return 2;
+    }
+    std::printf("\nwrote %s\n", trace_out.c_str());
+  }
+
+  obs::Json report = obs::Json::object();
+  report.set("schema", "specomp.bench_adaptive.v1");
+  report.set("schema_version", 1);
+  report.set("grid", [&] {
+    obs::Json g = obs::Json::object();
+    g.set("iterations", iterations);
+    g.set("quick", quick);
+    obs::Json ps = obs::Json::array();
+    for (const std::size_t p : procs) ps.push_back(p);
+    g.set("processors", std::move(ps));
+    obs::Json rs = obs::Json::array();
+    for (const auto& regime : regimes) rs.push_back(regime);
+    g.set("regimes", std::move(rs));
+    g.set("stall_plan", "stall:1@5+4");
+    return g;
+  }());
+  report.set("cells", std::move(cells_json));
+  report.set("acceptance", [&] {
+    obs::Json a = obs::Json::object();
+    a.set("calm_model_within_slack", accept_calm);
+    a.set("slack", kAcceptSlack);
+    a.set("calm", std::move(calm_json));
+    a.set("stall_cascade_contained", accept_cascade);
+    a.set("stall", std::move(cascade_json));
+    return a;
+  }());
+  report.set("theta", std::move(theta_json));
+  report.set(
+      "notes",
+      "Run-time window controllers vs every fixed FW on the calibrated "
+      "Section-5 N-body testbed, in a calm regime (as measured), a spiky "
+      "regime (bursty multi-second delay spikes) and under the stall fault "
+      "plan of the delay-propagation study (rank 1 frozen 4 s at t=5 s, "
+      "graceful degradation armed).  The model policy derives FW from the "
+      "live delay/service quantile sketches (DESIGN.md §13): it must match "
+      "the best fixed window within 5% on every calm grid point and keep "
+      "rollback cascades no deeper than the FW=1 baseline under the stall "
+      "plan.  Deterministic: same flags reproduce every number at any "
+      "--jobs.");
+
+  if (!obs::atomic_write_file(out, report.dump(2) + "\n")) {
+    std::fprintf(stderr, "error: could not write %s\n", out.c_str());
+    return 2;
+  }
+  std::printf("\nwrote %s\n", out.c_str());
+
+  if (!accept_calm || !accept_cascade) {
+    std::fprintf(stderr, "error: acceptance check failed (%s)\n",
+                 !accept_calm ? "calm: model vs best fixed window"
+                              : "stall: cascade containment");
+    return 1;
+  }
+  return 0;
 }

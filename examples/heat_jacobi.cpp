@@ -8,11 +8,13 @@
 // executable form.
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "apps/heat.hpp"
 #include "apps/jacobi.hpp"
 #include "obs/artifacts.hpp"
+#include "spec/adaptive.hpp"
 #include "runtime/collective_algo.hpp"
 #include "runtime/fault.hpp"
 #include "support/cli.hpp"
@@ -59,6 +61,28 @@ int main(int argc, char** argv) {
                  collective_arg.c_str());
   }
 
+  // Run-time controllers (DESIGN.md §13): applied to the speculative (FW>0)
+  // rows of both apps.  Fail fast on unknown names.
+  const std::string window_policy_arg = cli.get("window-policy", "static");
+  const std::string theta_policy_arg = cli.get("theta-policy", "static");
+  if (!spec::parse_window_policy(window_policy_arg)) {
+    std::fprintf(stderr,
+                 "error: unknown --window-policy '%s' (want "
+                 "static|heuristic|hill-climb|model)\n",
+                 window_policy_arg.c_str());
+    return 1;
+  }
+  if (!spec::parse_theta_policy(theta_policy_arg)) {
+    std::fprintf(stderr,
+                 "error: unknown --theta-policy '%s' (want static|adaptive)\n",
+                 theta_policy_arg.c_str());
+    return 1;
+  }
+  const std::string window_policy =
+      window_policy_arg == "static" ? "" : window_policy_arg;
+  const std::string theta_policy =
+      theta_policy_arg == "static" ? "" : theta_policy_arg;
+
   runtime::FaultPlanPtr fault;
   const std::string fault_spec = cli.get("fault-plan", "");
   if (!fault_spec.empty()) {
@@ -95,6 +119,10 @@ int main(int argc, char** argv) {
     s.sim.hb_check = cli.get_bool("hb-check");
     s.sim.fault = fault;
     s.graceful_degradation = fault != nullptr;
+    if (fw > 0) {
+      s.window_policy = window_policy;
+      s.theta_policy = theta_policy;
+    }
     const JacobiRunResult run = run_jacobi_scenario(s);
     fault_total.merge(run.sim.fault_stats);
     degraded_entries += run.spec.degraded_entries;
@@ -128,6 +156,10 @@ int main(int argc, char** argv) {
     s.sim.hb_check = cli.get_bool("hb-check");
     s.sim.fault = fault;
     s.graceful_degradation = fault != nullptr;
+    if (fw > 0) {
+      s.window_policy = window_policy;
+      s.theta_policy = theta_policy;
+    }
     const HeatRunResult run = run_heat_scenario(s);
     fault_total.merge(run.sim.fault_stats);
     degraded_entries += run.spec.degraded_entries;
@@ -171,6 +203,8 @@ int main(int argc, char** argv) {
   artifacts.add_table("heat_jacobi", results);
   artifacts.add_entry("processors", obs::Json(p));
   artifacts.add_entry("iterations", obs::Json(iterations));
+  artifacts.add_entry("window_policy", obs::Json(window_policy_arg));
+  artifacts.add_entry("theta_policy", obs::Json(theta_policy_arg));
   if (fault != nullptr) {
     artifacts.add_entry("fault_plan", obs::Json(fault_spec));
     artifacts.add_entry("fault_injected_drops",

@@ -7,6 +7,7 @@
 // and reports per-phase times, speculation statistics, speedup against the
 // fastest single machine, and physics diagnostics (energy drift, momentum).
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "nbody/energy.hpp"
@@ -33,6 +34,34 @@ int main(int argc, char** argv) {
   s.forward_window = static_cast<int>(cli.get_int("fw", 1));
   s.theta = cli.get_double("theta", 0.01);
   s.speculator = cli.get("speculator", "kinematic");
+  // Run-time controllers (DESIGN.md §13).  Fail fast on unknown names: a
+  // silently ignored policy would taint a whole measurement campaign.
+  const std::string window_policy_arg = cli.get("window-policy", "static");
+  const std::string theta_policy_arg = cli.get("theta-policy", "static");
+  if (!spec::parse_window_policy(window_policy_arg)) {
+    std::fprintf(stderr,
+                 "error: unknown --window-policy '%s' (want "
+                 "static|heuristic|hill-climb|model)\n",
+                 window_policy_arg.c_str());
+    return 1;
+  }
+  if (!spec::parse_theta_policy(theta_policy_arg)) {
+    std::fprintf(stderr,
+                 "error: unknown --theta-policy '%s' (want static|adaptive)\n",
+                 theta_policy_arg.c_str());
+    return 1;
+  }
+  if (window_policy_arg != "static") s.window_policy = window_policy_arg;
+  if (theta_policy_arg != "static") {
+    if (s.theta <= 0.0) {
+      std::fprintf(stderr,
+                   "error: --theta-policy=%s needs --theta > 0 (the initial "
+                   "threshold the controller adapts from)\n",
+                   theta_policy_arg.c_str());
+      return 1;
+    }
+    s.theta_policy = theta_policy_arg;
+  }
   if (cli.get_bool("baseline")) s.algorithm = Algorithm::Fig7Baseline;
   const std::string init = cli.get("init", "plummer");
   s.body.init = init == "cube"   ? InitKind::UniformCube
@@ -147,6 +176,17 @@ int main(int argc, char** argv) {
   if (run.spec.checks > 0)
     std::printf("  speculation error: mean %.2e, max %.2e (threshold %g)\n",
                 run.spec.error.mean(), run.spec.error.max(), s.theta);
+  if (!s.window_policy.empty() || !s.theta_policy.empty()) {
+    std::printf(
+        "adaptive control: policy %s/%s, max window used %d, theta range "
+        "[%g, %g] (%llu adjustments), max cascade depth %d\n",
+        s.window_policy.empty() ? "static" : s.window_policy.c_str(),
+        s.theta_policy.empty() ? "static" : s.theta_policy.c_str(),
+        run.spec.max_window_used, run.spec.theta_min_used,
+        run.spec.theta_max_used,
+        static_cast<unsigned long long>(run.spec.theta_adjustments),
+        run.spec.max_cascade_depth);
+  }
   std::printf("\nspeedup vs fastest single machine: %.2f (max attainable %.2f)\n",
               t1 / run.sim.makespan_seconds,
               s.sim.cluster.max_speedup());
@@ -205,6 +245,12 @@ int main(int argc, char** argv) {
                        runtime::resolve_collective_algo(
                            s.sim.collective,
                            static_cast<int>(s.sim.cluster.size()))))));
+  report.extra.set("window_policy",
+                   obs::Json(s.window_policy.empty() ? std::string("static")
+                                                     : s.window_policy));
+  report.extra.set("theta_policy",
+                   obs::Json(s.theta_policy.empty() ? std::string("static")
+                                                    : s.theta_policy));
   report.extra.set("speedup_vs_single", obs::Json(t1 / run.sim.makespan_seconds));
   report.extra.set("energy_drift_fraction",
                    obs::Json(std::fabs(after.total_energy() - before.total_energy()) /

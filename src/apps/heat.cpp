@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
 #include "spec/engine.hpp"
 #include "support/contracts.hpp"
@@ -150,11 +151,31 @@ HeatRunResult run_heat_scenario(const HeatScenario& scenario) {
       scenario.sim.cluster.proportional_partition(scenario.problem.n));
   const std::vector<double> u0 = heat_initial_condition(scenario.problem);
 
+  spec::WindowPolicyKind window_kind = spec::WindowPolicyKind::Static;
+  if (!scenario.window_policy.empty()) {
+    const auto parsed = spec::parse_window_policy(scenario.window_policy);
+    if (!parsed)
+      throw std::invalid_argument("HeatScenario: unknown window_policy \"" +
+                                  scenario.window_policy + "\"");
+    window_kind = *parsed;
+  }
+  spec::ThetaPolicyKind theta_kind = spec::ThetaPolicyKind::Static;
+  if (!scenario.theta_policy.empty()) {
+    const auto parsed = spec::parse_theta_policy(scenario.theta_policy);
+    if (!parsed)
+      throw std::invalid_argument("HeatScenario: unknown theta_policy \"" +
+                                  scenario.theta_policy + "\"");
+    theta_kind = *parsed;
+  }
+  runtime::SimConfig sim_config = scenario.sim;
+  if (window_kind == spec::WindowPolicyKind::Model)
+    sim_config.record_dists = true;
+
   std::vector<std::vector<double>> finals(p);
   std::vector<spec::SpecStats> stats(p);
   HeatRunResult result;
   result.sim = runtime::run_simulated(
-      scenario.sim, [&](runtime::Communicator& comm) {
+      sim_config, [&](runtime::Communicator& comm) {
         HeatApp app(scenario.problem, partition, comm.rank());
         spec::EngineConfig engine_config;
         engine_config.forward_window = scenario.forward_window;
@@ -162,7 +183,16 @@ HeatRunResult run_heat_scenario(const HeatScenario& scenario) {
         engine_config.graceful_degradation = scenario.graceful_degradation;
         engine_config.overdue_after_seconds = scenario.overdue_after_seconds;
         engine_config.max_degraded_window = scenario.max_degraded_window;
-        if (scenario.forward_window > 0 || scenario.graceful_degradation)
+        if (window_kind != spec::WindowPolicyKind::Static) {
+          engine_config.window_policy =
+              spec::make_window_policy(window_kind, scenario.forward_window);
+          engine_config.max_forward_window = scenario.max_forward_window;
+        }
+        if (theta_kind != spec::ThetaPolicyKind::Static)
+          engine_config.theta_policy =
+              spec::make_theta_policy(theta_kind, scenario.theta);
+        if (scenario.forward_window > 0 || scenario.graceful_degradation ||
+            engine_config.window_policy != nullptr)
           engine_config.speculator = spec::make_speculator(scenario.speculator);
         spec::SpecEngine engine(comm, app, engine_config,
                                 HeatApp::initial_blocks(partition, u0));

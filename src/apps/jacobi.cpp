@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "spec/engine.hpp"
 #include "support/contracts.hpp"
@@ -169,11 +170,31 @@ JacobiRunResult run_jacobi_scenario(const JacobiScenario& scenario) {
   const nbody::Partition partition = nbody::Partition::from_counts(
       scenario.sim.cluster.proportional_partition(scenario.n));
 
+  spec::WindowPolicyKind window_kind = spec::WindowPolicyKind::Static;
+  if (!scenario.window_policy.empty()) {
+    const auto parsed = spec::parse_window_policy(scenario.window_policy);
+    if (!parsed)
+      throw std::invalid_argument("JacobiScenario: unknown window_policy \"" +
+                                  scenario.window_policy + "\"");
+    window_kind = *parsed;
+  }
+  spec::ThetaPolicyKind theta_kind = spec::ThetaPolicyKind::Static;
+  if (!scenario.theta_policy.empty()) {
+    const auto parsed = spec::parse_theta_policy(scenario.theta_policy);
+    if (!parsed)
+      throw std::invalid_argument("JacobiScenario: unknown theta_policy \"" +
+                                  scenario.theta_policy + "\"");
+    theta_kind = *parsed;
+  }
+  runtime::SimConfig sim_config = scenario.sim;
+  if (window_kind == spec::WindowPolicyKind::Model)
+    sim_config.record_dists = true;
+
   std::vector<std::vector<double>> finals(p);
   std::vector<spec::SpecStats> stats(p);
   JacobiRunResult result;
-  result.sim = runtime::run_simulated(scenario.sim, [&](runtime::Communicator&
-                                                            comm) {
+  result.sim = runtime::run_simulated(sim_config, [&](runtime::Communicator&
+                                                          comm) {
     JacobiApp app(problem, partition, comm.rank());
     spec::EngineConfig engine_config;
     engine_config.forward_window = scenario.forward_window;
@@ -181,7 +202,16 @@ JacobiRunResult run_jacobi_scenario(const JacobiScenario& scenario) {
     engine_config.graceful_degradation = scenario.graceful_degradation;
     engine_config.overdue_after_seconds = scenario.overdue_after_seconds;
     engine_config.max_degraded_window = scenario.max_degraded_window;
-    if (scenario.forward_window > 0 || scenario.graceful_degradation)
+    if (window_kind != spec::WindowPolicyKind::Static) {
+      engine_config.window_policy =
+          spec::make_window_policy(window_kind, scenario.forward_window);
+      engine_config.max_forward_window = scenario.max_forward_window;
+    }
+    if (theta_kind != spec::ThetaPolicyKind::Static)
+      engine_config.theta_policy =
+          spec::make_theta_policy(theta_kind, scenario.theta);
+    if (scenario.forward_window > 0 || scenario.graceful_degradation ||
+        engine_config.window_policy != nullptr)
       engine_config.speculator = spec::make_speculator(scenario.speculator);
     spec::SpecEngine engine(comm, app, engine_config,
                             JacobiApp::initial_blocks(partition));

@@ -84,6 +84,13 @@ struct JacobiScenario {
   int forward_window = 1;
   double theta = 1e-3;
   std::string speculator = "linear";
+  /// Window controller by name ("static", "heuristic", "hill-climb",
+  /// "model"); empty keeps the fixed forward_window.  "model" forces
+  /// sim.record_dists on.
+  std::string window_policy;
+  /// θ controller by name ("static", "adaptive"); empty keeps fixed θ.
+  std::string theta_policy;
+  int max_forward_window = 8;
   runtime::SimConfig sim;
   /// Engine graceful degradation under faults (DESIGN.md Â§9); the examples
   /// arm this whenever a fault plan is given.

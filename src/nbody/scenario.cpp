@@ -1,5 +1,6 @@
 #include "nbody/scenario.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 #include "nbody/app.hpp"
@@ -51,6 +52,30 @@ NBodyRunResult run_scenario(const NBodyScenario& scenario) {
   SPEC_EXPECTS(p >= 1);
   SPEC_EXPECTS(scenario.iterations >= 1);
 
+  // Resolve named policy kinds up front so a typo fails before the run.
+  spec::WindowPolicyKind window_kind = spec::WindowPolicyKind::Static;
+  if (!scenario.window_policy.empty()) {
+    const auto parsed = spec::parse_window_policy(scenario.window_policy);
+    if (!parsed)
+      throw std::invalid_argument("NBodyScenario: unknown window_policy \"" +
+                                  scenario.window_policy + "\"");
+    window_kind = *parsed;
+  }
+  spec::ThetaPolicyKind theta_kind = spec::ThetaPolicyKind::Static;
+  if (!scenario.theta_policy.empty()) {
+    const auto parsed = spec::parse_theta_policy(scenario.theta_policy);
+    if (!parsed)
+      throw std::invalid_argument("NBodyScenario: unknown theta_policy \"" +
+                                  scenario.theta_policy + "\"");
+    theta_kind = *parsed;
+  }
+
+  runtime::SimConfig sim_config = scenario.sim;
+  // The model controller consumes live DistSketch quantiles; without
+  // recording it would hold at its initial window forever.
+  if (window_kind == spec::WindowPolicyKind::Model)
+    sim_config.record_dists = true;
+
   const std::vector<Particle> initial = make_initial_conditions(scenario.body);
   const Partition partition = Partition::from_counts(
       scenario.sim.cluster.proportional_partition(initial.size()));
@@ -60,6 +85,7 @@ NBodyRunResult run_scenario(const NBodyScenario& scenario) {
   std::vector<std::vector<Particle>> finals(p);
   std::vector<spec::SpecStats> stats(p);
   std::vector<support::OnlineStats> force_errors(p);
+  std::vector<spec::ControlSample> control_log;
 
   const runtime::RankBody body = [&](runtime::Communicator& comm) {
     const auto rank = static_cast<std::size_t>(comm.rank());
@@ -76,13 +102,22 @@ NBodyRunResult run_scenario(const NBodyScenario& scenario) {
     engine_config.threshold = scenario.theta;
     engine_config.allow_incremental_correction =
         scenario.allow_incremental_correction;
-    if (scenario.adaptive_window) {
+    if (window_kind != spec::WindowPolicyKind::Static) {
+      engine_config.window_policy =
+          spec::make_window_policy(window_kind, scenario.forward_window);
+      engine_config.max_forward_window = scenario.max_forward_window;
+    } else if (scenario.adaptive_window) {
       engine_config.window_policy = std::make_shared<spec::AdaptiveWindowPolicy>();
       engine_config.max_forward_window = scenario.max_forward_window;
     } else if (scenario.hill_climb_window) {
       engine_config.window_policy = std::make_shared<spec::HillClimbWindowPolicy>();
       engine_config.max_forward_window = scenario.max_forward_window;
     }
+    if (theta_kind != spec::ThetaPolicyKind::Static)
+      engine_config.theta_policy =
+          spec::make_theta_policy(theta_kind, scenario.theta);
+    engine_config.record_control_log =
+        scenario.record_control_log && comm.rank() == 0;
     engine_config.graceful_degradation = scenario.graceful_degradation;
     engine_config.overdue_after_seconds = scenario.overdue_after_seconds;
     engine_config.max_degraded_window = scenario.max_degraded_window;
@@ -99,10 +134,12 @@ NBodyRunResult run_scenario(const NBodyScenario& scenario) {
     stats[rank] = engine.run(scenario.iterations);
     finals[rank] = app.local_particles();
     force_errors[rank] = app.force_error_stats();
+    if (engine_config.record_control_log) control_log = engine.control_log();
   };
 
   NBodyRunResult result;
-  result.sim = runtime::run_simulated(scenario.sim, body);
+  result.sim = runtime::run_simulated(sim_config, body);
+  result.control_log = std::move(control_log);
 
   for (std::size_t r = 0; r < p; ++r) {
     result.spec.merge(stats[r]);

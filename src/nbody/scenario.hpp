@@ -12,6 +12,7 @@
 
 #include "nbody/types.hpp"
 #include "runtime/sim_comm.hpp"
+#include "spec/engine.hpp"
 #include "spec/stats.hpp"
 #include "support/stats.hpp"
 
@@ -42,6 +43,17 @@ struct NBodyScenario {
   bool adaptive_window = false;
   /// Same, with the hill-climbing controller (optimises iteration time).
   bool hill_climb_window = false;
+  /// Window controller by name ("static", "heuristic", "hill-climb",
+  /// "model"; see spec::parse_window_policy).  Empty keeps the legacy bool
+  /// selection above.  "model" forces sim.record_dists on: the policy reads
+  /// the live delay/service quantiles through Communicator::dist_snapshot().
+  std::string window_policy;
+  /// θ controller by name ("static", "adaptive"; see
+  /// spec::parse_theta_policy).  Empty/"static" keeps the fixed theta.
+  std::string theta_policy;
+  /// Record the engine's per-iteration controller trace (window, θ, cascade
+  /// depth, decision) into NBodyRunResult::control_log.
+  bool record_control_log = false;
   int max_forward_window = 8;
   /// Collect the true force-error distribution (Table 3); costly.
   bool measure_force_error = false;
@@ -66,6 +78,9 @@ struct NBodyRunResult {
   std::vector<Particle> final_particles;
   /// True force-error samples (only when measure_force_error was set).
   support::OnlineStats force_error;
+  /// Rank 0's per-iteration controller trace (only when record_control_log
+  /// was set).
+  std::vector<spec::ControlSample> control_log;
   /// Mean per-iteration communication (blocked) time across ranks.
   double mean_comm_per_iteration = 0.0;
   /// Mean per-iteration times of the remaining phases across ranks.

@@ -34,10 +34,15 @@ void RunReport::fill_spec(const spec::SpecStats& stats) {
   failures = stats.failures;
   incremental_corrections = stats.incremental_corrections;
   replayed_iterations = stats.replayed_iterations;
+  rollbacks = stats.rollbacks;
   failure_fraction = stats.failure_fraction();
   error_mean = stats.checks > 0 ? stats.error.mean() : 0.0;
   error_max = stats.checks > 0 ? stats.error.max() : 0.0;
   max_window_used = stats.max_window_used;
+  max_cascade_depth = stats.max_cascade_depth;
+  theta_min_used = stats.theta_min_used;
+  theta_max_used = stats.theta_max_used;
+  theta_adjustments = stats.theta_adjustments;
 }
 
 void RunReport::fill_channel(const net::ChannelStats& stats) {
@@ -114,10 +119,15 @@ Json RunReport::to_json() const {
   spec.set("failures", failures);
   spec.set("incremental_corrections", incremental_corrections);
   spec.set("replayed_iterations", replayed_iterations);
+  spec.set("rollbacks", rollbacks);
   spec.set("failure_fraction", failure_fraction);
   spec.set("error_mean", error_mean);
   spec.set("error_max", error_max);
   spec.set("max_window_used", max_window_used);
+  spec.set("max_cascade_depth", max_cascade_depth);
+  spec.set("theta_min_used", theta_min_used);
+  spec.set("theta_max_used", theta_max_used);
+  spec.set("theta_adjustments", theta_adjustments);
   doc.set("speculation", std::move(spec));
 
   Json comm = Json::object();
@@ -201,6 +211,17 @@ RunReport RunReport::from_json(const Json& doc) {
   report.error_mean = spec.at("error_mean").as_double();
   report.error_max = spec.at("error_max").as_double();
   report.max_window_used = static_cast<int>(spec.at("max_window_used").as_int());
+  // Fields added with the adaptive controllers (DESIGN.md §13); absent in
+  // reports written before them.
+  if (const Json* v = spec.find("rollbacks")) report.rollbacks = v->as_uint();
+  if (const Json* v = spec.find("max_cascade_depth"))
+    report.max_cascade_depth = static_cast<int>(v->as_int());
+  if (const Json* v = spec.find("theta_min_used"))
+    report.theta_min_used = v->as_double();
+  if (const Json* v = spec.find("theta_max_used"))
+    report.theta_max_used = v->as_double();
+  if (const Json* v = spec.find("theta_adjustments"))
+    report.theta_adjustments = v->as_uint();
 
   const Json& comm = doc.at("network");
   report.messages = comm.at("messages").as_uint();

@@ -59,10 +59,17 @@ struct RunReport {
   std::uint64_t failures = 0;
   std::uint64_t incremental_corrections = 0;
   std::uint64_t replayed_iterations = 0;
+  std::uint64_t rollbacks = 0;
   double failure_fraction = 0.0;   // the paper's k
   double error_mean = 0.0;
   double error_max = 0.0;
   int max_window_used = 0;
+  // Adaptive-control observables (DESIGN.md §13); degenerate for fixed runs
+  // (cascade 0, θ range collapsed to the configured threshold).
+  int max_cascade_depth = 0;
+  double theta_min_used = 0.0;
+  double theta_max_used = 0.0;
+  std::uint64_t theta_adjustments = 0;
 
   // ---- Network totals ----
   std::uint64_t messages = 0;

@@ -33,6 +33,26 @@
 
 namespace specomp::runtime {
 
+/// Live quantile snapshot of this rank's observed delay/service
+/// distributions (obs::DistSketch), read mid-run by the model-driven
+/// speculation controllers (spec/adaptive.hpp, DESIGN.md §13).  `valid` is
+/// false when the backend records no distributions — policies must then
+/// hold rather than act on the zeroed quantiles.
+struct DistSnapshot {
+  bool valid = false;
+  /// Inbound one-way delivery delay to this rank, seconds, all peers
+  /// aggregated at delivery time.
+  std::uint64_t delay_samples = 0;
+  double delay_p50 = 0.0;
+  double delay_p90 = 0.0;
+  double delay_p99 = 0.0;
+  /// This rank's per-charge compute (service) time, seconds.
+  std::uint64_t service_samples = 0;
+  double service_p50 = 0.0;
+  double service_p90 = 0.0;
+  double service_p99 = 0.0;
+};
+
 class Communicator {
  public:
   virtual ~Communicator() = default;
@@ -90,6 +110,13 @@ class Communicator {
     (void)peer;
     (void)iter;
   }
+
+  /// Live delay/service distribution quantiles for this rank, for the
+  /// model-driven speculation controllers.  Default: invalid (backends
+  /// without distribution recording — and runs with it off — return a
+  /// snapshot the policies treat as "hold").  The simulated backend fills
+  /// it from its per-rank DistSketches when SimConfig::record_dists is on.
+  virtual DistSnapshot dist_snapshot() const { return {}; }
 
   PhaseTimer& timer() noexcept { return timer_; }
   const PhaseTimer& timer() const noexcept { return timer_; }

@@ -40,6 +40,7 @@ class SimWorld {
     if (config_.record_dists) {
       const auto p = static_cast<std::size_t>(num_ranks_);
       link_delay_.resize(p * p);
+      inbound_delay_.resize(p);
       service_.resize(p);
     }
   }
@@ -153,6 +154,13 @@ class SimWorld {
     if (service_.empty()) return nullptr;
     return &service_[static_cast<std::size_t>(rank)];
   }
+  /// All-peers inbound delay at `rank` — the aggregate the model-driven
+  /// window policy consumes (one sketch, not p, so the per-iteration
+  /// snapshot stays O(markers)).
+  obs::DistSketch* inbound_delay_sketch(net::Rank rank) noexcept {
+    if (inbound_delay_.empty()) return nullptr;
+    return &inbound_delay_[static_cast<std::size_t>(rank)];
+  }
   SimCommunicator& comm(net::Rank rank) {
     SPEC_EXPECTS(rank >= 0 && rank < num_ranks_);
     return *comms_[static_cast<std::size_t>(rank)];
@@ -217,8 +225,9 @@ class SimWorld {
   std::vector<std::uint32_t> inflight_free_;
   des::Trace trace_;
   FaultStats fault_stats_;
-  std::vector<obs::DistSketch> link_delay_;  // p×p, row-major by src
-  std::vector<obs::DistSketch> service_;     // per rank
+  std::vector<obs::DistSketch> link_delay_;     // p×p, row-major by src
+  std::vector<obs::DistSketch> inbound_delay_;  // per dst, all srcs folded
+  std::vector<obs::DistSketch> service_;        // per rank
   int barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
 #if SPECOMP_HB_CHECK_ENABLED
@@ -412,8 +421,11 @@ void SimCommunicator::deliver_from_wire(net::Message&& msg) {
   }
   // Sampled at delivery (not consumption), so a message the application
   // never matches still contributes its link delay.
-  if (obs::DistSketch* dist = world_.link_delay_sketch(msg.src, rank_))
-    dist->observe((msg.delivered_at - msg.sent_at).to_seconds());
+  if (obs::DistSketch* dist = world_.link_delay_sketch(msg.src, rank_)) {
+    const double delay = (msg.delivered_at - msg.sent_at).to_seconds();
+    dist->observe(delay);
+    world_.inbound_delay_sketch(rank_)->observe(delay);
+  }
   mailbox_.push(std::move(msg));
   process_->wake();
 }
@@ -597,6 +609,23 @@ void SimCommunicator::compute(double ops, Phase phase) {
 
 double SimCommunicator::time_seconds() const {
   return process_->now().to_seconds();
+}
+
+DistSnapshot SimCommunicator::dist_snapshot() const {
+  DistSnapshot snap;
+  const obs::DistSketch* delay = world_.inbound_delay_sketch(rank_);
+  const obs::DistSketch* service = world_.service_sketch(rank_);
+  if (delay == nullptr || service == nullptr) return snap;  // dists off
+  snap.valid = true;
+  snap.delay_samples = delay->count();
+  snap.delay_p50 = delay->quantile(0.5);
+  snap.delay_p90 = delay->quantile(0.9);
+  snap.delay_p99 = delay->quantile(0.99);
+  snap.service_samples = service->count();
+  snap.service_p50 = service->quantile(0.5);
+  snap.service_p90 = service->quantile(0.9);
+  snap.service_p99 = service->quantile(0.99);
+  return snap;
 }
 
 }  // namespace detail

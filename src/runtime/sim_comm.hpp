@@ -103,6 +103,7 @@ class SimCommunicator final : public Communicator {
   void mark_degraded(bool on) override;
   void trace_causal(des::CausalKind kind, int peer = -1,
                     std::int64_t iter = -1) override;
+  DistSnapshot dist_snapshot() const override;
 
  private:
   friend class SimWorld;

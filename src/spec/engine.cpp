@@ -61,6 +61,12 @@ SpecEngine::SpecEngine(runtime::Communicator& comm, SyncIterativeApp& app,
     SPEC_EXPECTS(config_.overdue_after_seconds > 0.0);
   }
   SPEC_EXPECTS(initial_blocks.size() == static_cast<std::size_t>(size_));
+  theta_now_ = config_.theta_policy != nullptr
+                   ? config_.theta_policy->initial_theta()
+                   : config_.threshold;
+  SPEC_EXPECTS(theta_now_ >= 0.0);
+  stats_.theta_min_used = theta_now_;
+  stats_.theta_max_used = theta_now_;
 
   const std::size_t bw =
       config_.speculator != nullptr ? config_.speculator->backward_window() : 1;
@@ -184,7 +190,7 @@ SpecStats SpecEngine::run(long iterations) {
     while (!window_.empty() && window_.front().unresolved == 0)
       window_.pop_front();
 
-    consult_window_policy(t);
+    consult_policies(t);
   }
 
   // Resolve every outstanding speculation so all ranks finish verified and
@@ -303,7 +309,8 @@ void SpecEngine::resolve_receipt(int k, long s, std::span<const double> actual) 
   const double err = app_.speculation_error(k, slot.block, actual);
   stats_.error.add(err);
   metrics_.check_error.observe(err);
-  const bool acceptable = err <= config_.threshold;
+  iter_max_error_ = std::max(iter_max_error_, err);
+  const bool acceptable = err <= theta_now_;
 
   // From here on the record holds the real block (replays must use it).
   slot.block.assign(actual.begin(), actual.end());
@@ -336,7 +343,17 @@ void SpecEngine::resolve_receipt(int k, long s, std::span<const double> actual) 
 }
 
 void SpecEngine::rollback_and_replay(long s) {
+  ++stats_.rollbacks;
   metrics_.rollbacks.inc();
+  // Cascade tracking (DESIGN.md §13.4): this rollback *chains* when its
+  // target falls inside the span the previous rollback already replayed —
+  // the new arrival invalidated recomputed work, the Manita–Simonot cascade
+  // regime.  cascade_span_end_ is advanced to the last iteration this
+  // replay rewrites; an iteration that completes clean resets the chain
+  // (see consult_policies).
+  cascade_depth_now_ = s <= cascade_span_end_ ? cascade_depth_now_ + 1 : 1;
+  stats_.max_cascade_depth =
+      std::max(stats_.max_cascade_depth, cascade_depth_now_);
   std::size_t start = window_.size();
   for (std::size_t i = 0; i < window_.size(); ++i) {
     if (window_[i].t == s) {
@@ -370,6 +387,8 @@ void SpecEngine::rollback_and_replay(long s) {
     ++stats_.replayed_iterations;
     metrics_.replayed_iterations.inc();
   }
+  if (!window_.empty())
+    cascade_span_end_ = std::max(cascade_span_end_, window_.back().t);
 }
 
 SpecEngine::IterationRecord* SpecEngine::find_record(long t) {
@@ -395,29 +414,81 @@ void SpecEngine::charge_check(int k) {
   comm_.compute(app_.check_ops(k), Phase::Check);
 }
 
-void SpecEngine::consult_window_policy(long iteration) {
+void SpecEngine::consult_policies(long iteration) {
   stats_.max_window_used = std::max(stats_.max_window_used, fw_now_);
-  if (config_.window_policy == nullptr) return;
 
-  const double wait =
-      comm_.timer().get(Phase::Communicate).to_seconds();
-  const double compute = comm_.timer().get(Phase::Compute).to_seconds() +
-                         comm_.timer().get(Phase::Correct).to_seconds();
-  WindowFeedback feedback;
-  feedback.iteration = iteration;
-  feedback.current_window = fw_now_;
-  feedback.wait_seconds = wait - last_wait_seconds_;
-  feedback.compute_seconds = compute - last_compute_seconds_;
-  feedback.speculated = stats_.blocks_speculated - last_speculated_;
-  feedback.failures = stats_.failures - last_failures_;
-  last_wait_seconds_ = wait;
-  last_compute_seconds_ = compute;
-  last_speculated_ = stats_.blocks_speculated;
+  // Per-iteration deltas shared by both policies.
+  const std::uint64_t d_checks = stats_.checks - last_checks_;
+  const std::uint64_t d_failures = stats_.failures - last_failures_;
+  const bool rolled_back = stats_.rollbacks != last_rollbacks_;
+
+  const char* decision = "";
+  if (config_.window_policy != nullptr) {
+    const double wait =
+        comm_.timer().get(Phase::Communicate).to_seconds();
+    const double compute = comm_.timer().get(Phase::Compute).to_seconds() +
+                           comm_.timer().get(Phase::Correct).to_seconds();
+    WindowFeedback feedback;
+    feedback.iteration = iteration;
+    feedback.current_window = fw_now_;
+    feedback.wait_seconds = wait - last_wait_seconds_;
+    feedback.compute_seconds = compute - last_compute_seconds_;
+    feedback.speculated = stats_.blocks_speculated - last_speculated_;
+    feedback.failures = d_failures;
+    feedback.cascade_depth = cascade_depth_now_;
+    const runtime::DistSnapshot snap = comm_.dist_snapshot();
+    feedback.dists_valid = snap.valid;
+    feedback.delay_samples = snap.delay_samples;
+    feedback.delay_p50 = snap.delay_p50;
+    feedback.delay_p90 = snap.delay_p90;
+    feedback.delay_p99 = snap.delay_p99;
+    feedback.service_samples = snap.service_samples;
+    feedback.service_p50 = snap.service_p50;
+    feedback.service_p90 = snap.service_p90;
+    feedback.service_p99 = snap.service_p99;
+    last_wait_seconds_ = wait;
+    last_compute_seconds_ = compute;
+    last_speculated_ = stats_.blocks_speculated;
+
+    fw_now_ = std::clamp(config_.window_policy->next_window(feedback), 0,
+                         config_.max_forward_window);
+    decision = config_.window_policy->last_decision();
+    metrics_.forward_window.set(fw_now_);
+  }
+
+  if (config_.theta_policy != nullptr) {
+    ThetaFeedback feedback;
+    feedback.iteration = iteration;
+    feedback.current_theta = theta_now_;
+    feedback.checks = d_checks;
+    feedback.failures = d_failures;
+    feedback.max_error = iter_max_error_;
+    feedback.cascade_depth = cascade_depth_now_;
+    const double next = config_.theta_policy->next_theta(feedback);
+    SPEC_ASSERT(next > 0.0);
+    if (next != theta_now_) {
+      theta_now_ = next;
+      ++stats_.theta_adjustments;
+    }
+    stats_.theta_min_used = std::min(stats_.theta_min_used, theta_now_);
+    stats_.theta_max_used = std::max(stats_.theta_max_used, theta_now_);
+  }
+
+  if (config_.record_control_log) {
+    control_log_.push_back(
+        {iteration, fw_now_, theta_now_, cascade_depth_now_, decision});
+  }
+
+  last_checks_ = stats_.checks;
   last_failures_ = stats_.failures;
-
-  fw_now_ = std::clamp(config_.window_policy->next_window(feedback), 0,
-                       config_.max_forward_window);
-  metrics_.forward_window.set(fw_now_);
+  last_rollbacks_ = stats_.rollbacks;
+  iter_max_error_ = 0.0;
+  // An iteration with no rollback breaks the chain: nothing this iteration
+  // invalidated previously replayed work.
+  if (!rolled_back) {
+    cascade_depth_now_ = 0;
+    cascade_span_end_ = -1;
+  }
 }
 
 }  // namespace specomp::spec

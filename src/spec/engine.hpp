@@ -74,7 +74,17 @@ struct EngineConfig {
   /// Upper clamp for policy-chosen windows.
   int max_forward_window = 8;
   /// θ: maximum acceptable speculation error (paper uses 0.01 for N-body).
+  /// Ignored when theta_policy is set.
   double threshold = 0.01;
+  /// Optional run-time θ controller (spec/adaptive.hpp, DESIGN.md §13.5);
+  /// when set it chooses the check threshold each iteration and `threshold`
+  /// is ignored.
+  std::shared_ptr<ThetaPolicy> theta_policy;
+  /// Record one ControlSample per iteration (window, θ, cascade depth,
+  /// policy decision) into control_log() — the controller trace the
+  /// adaptive benches export.  Off by default: a long fixed-policy run has
+  /// no reason to grow a per-iteration vector.
+  bool record_control_log = false;
   /// Speculation function; required when forward_window > 0.  Its
   /// backward_window() determines per-peer history depth.
   std::shared_ptr<Speculator> speculator;
@@ -104,6 +114,21 @@ struct EngineConfig {
   int max_degraded_window = 8;
 };
 
+/// One row of the engine's controller trace (EngineConfig::
+/// record_control_log): the control state in effect *after* the policies
+/// ran at the end of `iteration`.
+struct ControlSample {
+  long iteration = 0;
+  /// Forward window chosen for the next iteration.
+  int window = 0;
+  /// Check threshold chosen for the next iteration.
+  double theta = 0.0;
+  /// Rollback-chain length observed during the iteration.
+  int cascade_depth = 0;
+  /// WindowPolicy::last_decision() label ("" for fixed windows).
+  const char* decision = "";
+};
+
 class SpecEngine {
  public:
   /// `initial_blocks[k]` is peer k's X_k(0) (element `rank` unused); these
@@ -122,6 +147,16 @@ class SpecEngine {
   /// The forward window in effect for the next iteration (fixed, or the
   /// window policy's latest decision).
   int current_window() const noexcept { return fw_now_; }
+
+  /// The check threshold in effect for the next iteration (fixed, or the
+  /// θ policy's latest decision).
+  double current_theta() const noexcept { return theta_now_; }
+
+  /// Per-iteration controller trace; empty unless
+  /// EngineConfig::record_control_log.
+  const std::vector<ControlSample>& control_log() const noexcept {
+    return control_log_;
+  }
 
  private:
   /// Per-iteration, per-peer record of what was installed.
@@ -164,7 +199,11 @@ class SpecEngine {
   IterationRecord* find_record(long t);
   std::vector<double> speculate_block(int k, long t);
   void charge_check(int k);
-  void consult_window_policy(long iteration);
+  /// End-of-iteration control step: feeds the window and θ policies their
+  /// per-iteration observations (including the live DistSnapshot and the
+  /// online cascade depth), applies their decisions, appends to the
+  /// controller trace, and resets the per-iteration trackers.
+  void consult_policies(long iteration);
 
   runtime::Communicator& comm_;
   SyncIterativeApp& app_;
@@ -182,6 +221,18 @@ class SpecEngine {
   double last_compute_seconds_ = 0.0;
   std::uint64_t last_failures_ = 0;
   std::uint64_t last_speculated_ = 0;
+  // θ in effect (fixed, or the θ policy's latest decision) and the
+  // per-iteration check deltas / max error the θ policy consumes.
+  double theta_now_ = 0.0;
+  std::uint64_t last_checks_ = 0;
+  std::uint64_t last_rollbacks_ = 0;
+  double iter_max_error_ = 0.0;
+  // Online rollback-chain tracking (DESIGN.md §13.4): a rollback whose
+  // target falls inside the span the previous rollback replayed extends the
+  // chain; an iteration that completes without rolling back resets it.
+  int cascade_depth_now_ = 0;
+  long cascade_span_end_ = -1;
+  std::vector<ControlSample> control_log_;
   SpecStats stats_;
   // Telemetry; no-ops unless obs::set_metrics_enabled(true) preceded
   // engine construction (see obs/metrics.hpp).  Aggregated across ranks.

@@ -24,8 +24,15 @@ struct SpecStats {
   std::uint64_t failures = 0;
   /// Failed speculations repaired by the application's cheap correction.
   std::uint64_t incremental_corrections = 0;
+  /// Checkpoint restorations (each may replay several iterations).
+  std::uint64_t rollbacks = 0;
   /// Iterations recomputed by rollback + replay.
   std::uint64_t replayed_iterations = 0;
+  /// Longest rollback chain observed: consecutive rollbacks where each
+  /// invalidated work the previous one had replayed (the Manita–Simonot
+  /// cascade observable; see DESIGN.md §13.4).  0 when no rollback ever
+  /// chained.
+  int max_cascade_depth = 0;
   /// Times the engine entered degraded mode (a peer overdue past FW; see
   /// EngineConfig::graceful_degradation).
   std::uint64_t degraded_entries = 0;
@@ -36,6 +43,13 @@ struct SpecStats {
   /// Largest forward window in effect during the run (interesting when an
   /// adaptive window policy is driving it).
   int max_window_used = 0;
+  /// θ range the run actually used.  Both equal the configured threshold
+  /// for fixed-θ runs; they spread when a ThetaPolicy adapts it.  0 until
+  /// the engine initialises them.
+  double theta_min_used = 0.0;
+  double theta_max_used = 0.0;
+  /// Times a ThetaPolicy changed θ.
+  std::uint64_t theta_adjustments = 0;
 
   /// The paper's k: fraction of checks that failed, in [0, 1].
   double failure_fraction() const noexcept {
@@ -50,11 +64,21 @@ struct SpecStats {
     checks += other.checks;
     failures += other.failures;
     incremental_corrections += other.incremental_corrections;
+    rollbacks += other.rollbacks;
     replayed_iterations += other.replayed_iterations;
+    max_cascade_depth = std::max(max_cascade_depth, other.max_cascade_depth);
     degraded_entries += other.degraded_entries;
     degraded_iterations += other.degraded_iterations;
     error.merge(other.error);
     max_window_used = std::max(max_window_used, other.max_window_used);
+    // 0 means "never initialised" on either side, so the min skips zeros.
+    if (other.theta_min_used > 0.0) {
+      theta_min_used = theta_min_used > 0.0
+                           ? std::min(theta_min_used, other.theta_min_used)
+                           : other.theta_min_used;
+    }
+    theta_max_used = std::max(theta_max_used, other.theta_max_used);
+    theta_adjustments += other.theta_adjustments;
   }
 };
 
